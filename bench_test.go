@@ -1,0 +1,73 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each BenchmarkTableN/BenchmarkFigN runs the corresponding
+// experiment from internal/experiments at a reduced scale (6 s simulated
+// per scenario; pass -bench-duration to change) and reports simulated
+// seconds of machine time per wall second as the throughput metric.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale reports behind EXPERIMENTS.md come from
+// cmd/experiments; these benchmarks exist so `go test -bench` exercises
+// every experiment end to end and tracks the simulator's performance.
+package smartharvest_test
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"smartharvest/internal/experiments"
+	"smartharvest/internal/sim"
+)
+
+var benchDuration = flag.Duration("bench-duration", 6*time.Second,
+	"simulated duration per scenario in experiment benchmarks")
+
+// benchExperiment runs one experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := experiments.Quick()
+	cfg.Duration = sim.Duration(*benchDuration)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Lines) == 0 {
+			b.Fatalf("%s produced an empty report", id)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFig4(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkFig7(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig13(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)     { benchExperiment(b, "fig15") }
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+func BenchmarkChurn(b *testing.B)      { benchExperiment(b, "churn") }
+func BenchmarkFleet(b *testing.B)      { benchExperiment(b, "fleet") }
+func BenchmarkGuardSweep(b *testing.B) { benchExperiment(b, "guard-sweep") }
+func BenchmarkMemHarvest(b *testing.B) { benchExperiment(b, "memharvest") }
+
+// BenchmarkTable3_* are the real microbenchmarks behind the paper's
+// Table 3 — the latency of each learning operation in this
+// implementation. (internal/learner has the same benchmarks next to the
+// code; these run them through the public experiment path.)
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }

@@ -1,0 +1,112 @@
+// Command experiments regenerates the tables and figures of the
+// SmartHarvest paper's evaluation on the simulated testbed.
+//
+// Usage:
+//
+//	experiments [flags] [experiment ...]
+//
+// With no arguments it runs every experiment in the paper's order. Each
+// report prints to stdout; -out additionally writes one file per
+// experiment.
+//
+// Flags:
+//
+//	-duration  measured simulated time per run (default 30s)
+//	-warmup    warmup before measurement (default 2s)
+//	-seed      RNG seed (default 1)
+//	-quick     shortcut for -duration 6s
+//	-out DIR   also write <DIR>/<id>.txt
+//	-list      list experiment IDs and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smartharvest/internal/experiments"
+	"smartharvest/internal/sim"
+)
+
+func main() {
+	duration := flag.Duration("duration", 30*time.Second, "measured simulated time per run")
+	warmup := flag.Duration("warmup", 2*time.Second, "simulated warmup before measurement")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run each experiment with (the paper averages 3 runs)")
+	quick := flag.Bool("quick", false, "short runs (6s simulated)")
+	outDir := flag.String("out", "", "directory to also write per-experiment reports to")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Duration: sim.Duration(*duration),
+		Warmup:   sim.Duration(*warmup),
+		Seed:     *seed,
+	}
+	if *quick {
+		cfg.Duration = 6 * sim.Second
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	exitCode := 0
+	for _, id := range ids {
+		run, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			exitCode = 1
+			continue
+		}
+		var combined []byte
+		for rep := 0; rep < *seeds; rep++ {
+			runCfg := cfg
+			runCfg.Seed = cfg.Seed + uint64(rep)
+			start := time.Now()
+			report, err := run(runCfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+				exitCode = 1
+				continue
+			}
+			if *seeds > 1 {
+				fmt.Printf("[seed %d]\n", runCfg.Seed)
+				combined = append(combined, fmt.Sprintf("[seed %d]\n", runCfg.Seed)...)
+			}
+			fmt.Print(report)
+			fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(10*time.Millisecond))
+			combined = append(combined, report.String()...)
+		}
+		if *outDir != "" && len(combined) > 0 {
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, combined, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+				exitCode = 1
+			}
+		}
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,217 @@
+// Command smartharvest runs a single harvesting scenario on the simulated
+// testbed and prints its results: per-primary latency percentiles,
+// harvested cores, safeguard activity, and reassignment latencies.
+//
+// Usage examples:
+//
+//	smartharvest -primary memcached:40000 -policy smartharvest -duration 30s
+//	smartharvest -primary memcached:40000 -primary indexserve:500 -policy fixedbuffer:6
+//	smartharvest -primary indexserve:500 -batch hdinsight -mechanism ipis -speedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"smartharvest"
+	"smartharvest/internal/sim"
+)
+
+// primaryList collects repeated -primary flags.
+type primaryList []string
+
+func (p *primaryList) String() string { return strings.Join(*p, ",") }
+func (p *primaryList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func parsePrimary(spec string) (smartharvest.PrimarySpec, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	qps := 0.0
+	if arg != "" {
+		v, err := strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return smartharvest.PrimarySpec{}, fmt.Errorf("bad load %q: %v", arg, err)
+		}
+		qps = v
+	}
+	switch name {
+	case "memcached":
+		if qps == 0 {
+			qps = 40000
+		}
+		return smartharvest.Memcached(qps), nil
+	case "memcached-swing":
+		if qps == 0 {
+			qps = 60000
+		}
+		return smartharvest.MemcachedSwinging(qps), nil
+	case "indexserve":
+		if qps == 0 {
+			qps = 500
+		}
+		return smartharvest.IndexServe(qps), nil
+	case "moses":
+		if qps == 0 {
+			qps = 400
+		}
+		return smartharvest.Moses(qps), nil
+	case "img-dnn":
+		if qps == 0 {
+			qps = 2000
+		}
+		return smartharvest.ImgDNN(qps), nil
+	case "squarewave":
+		return smartharvest.SquareWave(8, 1, 500*smartharvest.Millisecond), nil
+	default:
+		return smartharvest.PrimarySpec{}, fmt.Errorf("unknown primary %q", name)
+	}
+}
+
+func parsePolicy(spec string) (smartharvest.ControllerFactory, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	n := 0
+	if arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad policy argument %q: %v", arg, err)
+		}
+		n = v
+	}
+	switch name {
+	case "smartharvest":
+		return smartharvest.NewSmartHarvest(smartharvest.SmartHarvestOptions{}), nil
+	case "fixedbuffer":
+		if n == 0 {
+			n = 4
+		}
+		return smartharvest.NewFixedBuffer(n), nil
+	case "prevpeak":
+		if n == 0 {
+			n = 1
+		}
+		return smartharvest.NewPrevPeak(n, n > 1), nil
+	case "ewma":
+		return smartharvest.NewEWMA(0.3, 1), nil
+	case "noharvest":
+		return smartharvest.NewNoHarvest(), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func parseBatch(name string) (smartharvest.BatchKind, error) {
+	switch name {
+	case "cpubully":
+		return smartharvest.BatchCPUBully, nil
+	case "hdinsight":
+		return smartharvest.BatchHDInsight, nil
+	case "terasort":
+		return smartharvest.BatchTeraSort, nil
+	case "none":
+		return smartharvest.BatchNone, nil
+	default:
+		return 0, fmt.Errorf("unknown batch workload %q", name)
+	}
+}
+
+func fmtNS(ns int64) string { return sim.Time(ns).String() }
+
+func main() {
+	var primaries primaryList
+	flag.Var(&primaries, "primary", "primary workload as name[:qps]; repeatable (default memcached:40000)")
+	policy := flag.String("policy", "smartharvest", "harvesting policy: smartharvest, fixedbuffer[:k], prevpeak[:n], ewma, noharvest")
+	batch := flag.String("batch", "cpubully", "ElasticVM workload: cpubully, hdinsight, terasort, none")
+	mechanism := flag.String("mechanism", "cpugroups", "core reassignment mechanism: cpugroups or ipis")
+	duration := flag.Duration("duration", 30*time.Second, "measured simulated time")
+	warmup := flag.Duration("warmup", 2*time.Second, "simulated warmup")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	guard := flag.Bool("long-term-safeguard", true, "enable the long-term QoS safeguard")
+	speedup := flag.Bool("speedup", false, "also run a NoHarvest baseline and report the batch speedup")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "smartharvest: %v\n", err)
+		os.Exit(1)
+	}
+
+	if len(primaries) == 0 {
+		primaries = primaryList{"memcached:40000"}
+	}
+	var specs []smartharvest.PrimarySpec
+	for _, p := range primaries {
+		spec, err := parsePrimary(p)
+		if err != nil {
+			fail(err)
+		}
+		specs = append(specs, spec)
+	}
+	ctrl, err := parsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	batchKind, err := parseBatch(*batch)
+	if err != nil {
+		fail(err)
+	}
+	var mech smartharvest.Mechanism
+	switch *mechanism {
+	case "cpugroups":
+		mech = smartharvest.CpuGroups
+	case "ipis":
+		mech = smartharvest.IPI
+	default:
+		fail(fmt.Errorf("unknown mechanism %q", *mechanism))
+	}
+
+	s := smartharvest.Scenario{
+		Name:              "cli",
+		Primaries:         specs,
+		Batch:             batchKind,
+		Mechanism:         mech,
+		Controller:        ctrl,
+		Duration:          sim.Duration(*duration),
+		Warmup:            sim.Duration(*warmup),
+		Seed:              *seed,
+		LongTermSafeguard: *guard,
+	}
+
+	start := time.Now()
+	var res *smartharvest.Result
+	if *speedup {
+		sp, with, baseline, err := smartharvest.RunSpeedup(s)
+		if err != nil {
+			fail(err)
+		}
+		res = with
+		fmt.Printf("batch speedup: %.2fx (%v with harvesting vs %v on the ElasticVM minimum)\n",
+			sp, with.BatchTime, baseline.BatchTime)
+	} else {
+		res, err = smartharvest.Run(s)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("policy=%s mechanism=%s simulated=%v wall=%v\n",
+		res.Policy, res.Mechanism, res.Duration, time.Since(start).Round(time.Millisecond))
+	for _, p := range res.Primaries {
+		fmt.Printf("primary %-18s requests=%-9d P50=%-12s P95=%-12s P99=%-12s P99.9=%s\n",
+			p.Name, p.Completed, fmtNS(p.Latency.P50), fmtNS(p.Latency.P95),
+			fmtNS(p.Latency.P99), fmtNS(p.Latency.P999))
+	}
+	fmt.Printf("harvested: avg %.2f cores (elastic avg %.2f incl. minimum); elastic executed %.1f core-seconds\n",
+		res.AvgHarvestedCores, res.AvgElasticCores, res.ElasticCPUSeconds)
+	if res.BatchFinished {
+		fmt.Printf("batch finished at %v\n", res.BatchTime)
+	}
+	fmt.Printf("agent: %d windows, %d resizes, %d short-term safeguards, %d QoS trips\n",
+		res.Windows, res.Resizes, res.Safeguards, res.QoSTrips)
+	fmt.Printf("reassignment: grow P99 %s, shrink P99 %s\n",
+		fmtNS(res.Grow.P99), fmtNS(res.Shrink.P99))
+}

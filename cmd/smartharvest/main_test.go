@@ -1,0 +1,79 @@
+package main
+
+import "testing"
+
+func TestParsePrimary(t *testing.T) {
+	cases := []struct {
+		in      string
+		name    string
+		qps     float64
+		wantErr bool
+	}{
+		{"memcached:40000", "memcached", 40000, false},
+		{"memcached", "memcached", 40000, false}, // default load
+		{"indexserve:500", "indexserve", 500, false},
+		{"moses", "moses", 400, false},
+		{"img-dnn:2000", "img-dnn", 2000, false},
+		{"memcached-swing", "memcached-swing", 60000, false},
+		{"squarewave", "squarewave", 0, false},
+		{"nope", "", 0, true},
+		{"memcached:abc", "", 0, true},
+	}
+	for _, c := range cases {
+		spec, err := parsePrimary(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parsePrimary(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parsePrimary(%q): %v", c.in, err)
+			continue
+		}
+		if spec.Name != c.name {
+			t.Errorf("parsePrimary(%q) name %q, want %q", c.in, spec.Name, c.name)
+		}
+		if c.qps != 0 && spec.QPS != c.qps {
+			t.Errorf("parsePrimary(%q) qps %v, want %v", c.in, spec.QPS, c.qps)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	good := map[string]string{
+		"smartharvest":  "smartharvest",
+		"fixedbuffer":   "fixedbuffer-4",
+		"fixedbuffer:7": "fixedbuffer-7",
+		"prevpeak":      "prevpeak",
+		"prevpeak:10":   "prevpeak10",
+		"ewma":          "ewma",
+		"noharvest":     "noharvest",
+	}
+	for in, want := range good {
+		f, err := parsePolicy(in)
+		if err != nil {
+			t.Errorf("parsePolicy(%q): %v", in, err)
+			continue
+		}
+		if got := f(10).Name(); got != want {
+			t.Errorf("parsePolicy(%q) -> %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"nope", "fixedbuffer:x"} {
+		if _, err := parsePolicy(bad); err == nil {
+			t.Errorf("parsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseBatch(t *testing.T) {
+	for _, in := range []string{"cpubully", "hdinsight", "terasort", "none"} {
+		if _, err := parseBatch(in); err != nil {
+			t.Errorf("parseBatch(%q): %v", in, err)
+		}
+	}
+	if _, err := parseBatch("nope"); err == nil {
+		t.Error("parseBatch accepted junk")
+	}
+}

@@ -1,0 +1,70 @@
+// Command tracegen synthesizes bursty query-arrival traces (the
+// repository's stand-in for the paper's Bing query traces) and writes
+// them as "timestamp_ns batch" lines.
+//
+// Usage:
+//
+//	tracegen -qps 500 -span 30s -burst-fraction 0.1 -o trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"smartharvest/internal/sim"
+	"smartharvest/internal/traces"
+)
+
+func main() {
+	qps := flag.Float64("qps", 500, "average request rate")
+	span := flag.Duration("span", 30*time.Second, "trace length")
+	burstFraction := flag.Float64("burst-fraction", 0.1, "fraction of requests arriving in bursts")
+	burstRate := flag.Float64("burst-rate", 20, "bursts per second")
+	burstWidth := flag.Duration("burst-width", 6*time.Millisecond, "burst spread")
+	wave := flag.Float64("load-wave", 0.3, "slow sinusoidal load modulation amplitude (0..1)")
+	wavePeriod := flag.Duration("wave-period", 20*time.Second, "load modulation period")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	out := flag.String("o", "-", "output file, or - for stdout")
+	flag.Parse()
+
+	cfg := traces.Config{
+		QPS:           *qps,
+		Span:          sim.Duration(*span),
+		BurstFraction: *burstFraction,
+		BurstRate:     *burstRate,
+		BurstWidth:    sim.Duration(*burstWidth),
+		LoadWave:      *wave,
+		WavePeriod:    sim.Duration(*wavePeriod),
+		Seed:          *seed,
+	}
+	events, err := traces.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: close: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	if err := traces.Write(w, events); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d events over %v (%.1f qps)\n",
+		len(events), *span, float64(len(events))/span.Seconds())
+}

@@ -1,0 +1,3 @@
+module smartharvest
+
+go 1.22

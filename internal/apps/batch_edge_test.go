@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"testing"
+
+	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/sim"
+)
+
+func TestBatchJobTinyWork(t *testing.T) {
+	// Work far smaller than a chunk still completes exactly.
+	loop, m := rig(t, 2)
+	m.SetInitialSplit(0)
+	vm := m.AddVM("t", hypervisor.ElasticGroup, 2, 2)
+	job := NewBatchJob("tiny", loop, vm, []BatchPhase{
+		{Kind: CPUPhase, Work: 100 * sim.Microsecond},
+	}, nil)
+	job.Start()
+	loop.RunUntil(sim.Second)
+	if !job.Finished() {
+		t.Fatal("tiny job never finished")
+	}
+	// Exactly the work plus one dispatch's scheduling overhead.
+	if got := job.FinishedAt(); got < 100*sim.Microsecond || got > 110*sim.Microsecond {
+		t.Fatalf("finished at %v, want ~100us", got)
+	}
+	if vm.CPUTime() != 100*sim.Microsecond {
+		t.Fatalf("cpu time %v", vm.CPUTime())
+	}
+}
+
+func TestBatchJobParallelismOne(t *testing.T) {
+	// A serial phase must not exceed one concurrent chunk even with many
+	// cores available.
+	loop, m := rig(t, 4)
+	m.SetInitialSplit(0)
+	vm := m.AddVM("s", hypervisor.ElasticGroup, 4, 4)
+	job := NewBatchJob("serial", loop, vm, []BatchPhase{
+		{Kind: CPUPhase, Work: 40 * sim.Millisecond, Parallelism: 1},
+	}, nil)
+	job.Start()
+	loop.RunUntil(10 * sim.Millisecond)
+	if busy := m.BusyCores(hypervisor.ElasticGroup); busy != 1 {
+		t.Fatalf("serial phase uses %d cores", busy)
+	}
+	loop.RunUntil(sim.Second)
+	// Serial work on one core takes its duration plus per-chunk dispatch
+	// overhead (8 chunks x <=6us).
+	if got := job.FinishedAt(); got < 40*sim.Millisecond || got > 40*sim.Millisecond+100*sim.Microsecond {
+		t.Fatalf("finished at %v, want ~40ms", got)
+	}
+}
+
+func TestBatchJobStartTwicePanics(t *testing.T) {
+	loop, m := rig(t, 2)
+	vm := m.AddVM("x", hypervisor.ElasticGroup, 2, 2)
+	job := NewBatchJob("x", loop, vm, []BatchPhase{{Kind: CPUPhase, Work: 1}}, nil)
+	job.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	job.Start()
+}
+
+func TestBatchJobOnDoneCallbackOnce(t *testing.T) {
+	loop, m := rig(t, 2)
+	m.SetInitialSplit(0)
+	vm := m.AddVM("d", hypervisor.ElasticGroup, 2, 2)
+	calls := 0
+	job := NewBatchJob("d", loop, vm, []BatchPhase{
+		{Kind: CPUPhase, Work: sim.Millisecond},
+		{Kind: IOPhase, IOTime: sim.Millisecond},
+	}, func(sim.Time) { calls++ })
+	job.Start()
+	loop.RunUntil(sim.Second)
+	if calls != 1 {
+		t.Fatalf("onDone called %d times", calls)
+	}
+}

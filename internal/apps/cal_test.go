@@ -1,0 +1,15 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"smartharvest/internal/sim"
+)
+
+func TestCalibrationPrint(t *testing.T) {
+	for _, spec := range []PrimarySpec{Memcached(40000), IndexServe(500), Moses(400), ImgDNN(2000)} {
+		avg, peak, p99 := runPrimaryAlone(t, spec, 12*sim.Second)
+		fmt.Printf("%-12s avg=%.2f peak=%.2f p99=%v\n", spec.Name, avg, peak, sim.Time(p99))
+	}
+}

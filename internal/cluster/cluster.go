@@ -1,0 +1,307 @@
+// Package cluster simulates a fleet of SmartHarvest servers. The paper's
+// agents run entirely independently per server (§3.3); this package wires
+// many simulated machines onto one event loop, drives them with a stream
+// of tenant VM arrivals and departures placed first-fit across the fleet,
+// and aggregates the datacenter-level quantity the paper's introduction
+// motivates: how many allocated-but-idle core-hours the ElasticVMs
+// recover, at what tail-latency cost.
+package cluster
+
+import (
+	"fmt"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/core"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/metrics"
+	"smartharvest/internal/sim"
+	"smartharvest/internal/simrng"
+	"smartharvest/internal/workload"
+)
+
+// Config describes the fleet and its tenant stream.
+type Config struct {
+	// Servers is the fleet size.
+	Servers int
+	// CoresPerServer is each server's harvesting pool (default 21:
+	// capacity for two 10-core tenants plus the ElasticVM minimum).
+	CoresPerServer int
+	// ElasticMin is the per-server ElasticVM minimum (default 1).
+	ElasticMin int
+	// VMCores is the allocation of each tenant VM (default 10).
+	VMCores int
+	// Controller builds each server's policy (default SmartHarvest).
+	Controller harness.ControllerFactory
+	// Mechanism selects the reassignment path.
+	Mechanism hypervisor.Mechanism
+
+	// ArrivalRate is tenant VM arrivals per second across the fleet.
+	ArrivalRate float64
+	// MeanLifetime is the tenants' exponential lifetime mean.
+	MeanLifetime sim.Time
+	// Workloads are sampled uniformly for each arriving tenant (default:
+	// the paper's four primaries at their standard loads).
+	Workloads []apps.PrimarySpec
+
+	// Duration is the measured time; Warmup precedes it.
+	Duration sim.Time
+	Warmup   sim.Time
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.CoresPerServer == 0 {
+		c.CoresPerServer = 21
+	}
+	if c.ElasticMin == 0 {
+		c.ElasticMin = 1
+	}
+	if c.VMCores == 0 {
+		c.VMCores = 10
+	}
+	if c.Controller == nil {
+		c.Controller = func(alloc int) core.Controller {
+			return core.NewSmartHarvest(alloc, core.SmartHarvestOptions{})
+		}
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []apps.PrimarySpec{
+			apps.Memcached(40000), apps.IndexServe(500),
+			apps.Moses(400), apps.ImgDNN(2000),
+		}
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * sim.Second
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * sim.Second
+	}
+	if c.MeanLifetime == 0 {
+		c.MeanLifetime = 20 * sim.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Servers < 1 {
+		return fmt.Errorf("cluster: need at least one server")
+	}
+	if c.CoresPerServer < c.VMCores+c.ElasticMin {
+		return fmt.Errorf("cluster: servers too small for one tenant VM")
+	}
+	if c.ArrivalRate < 0 {
+		return fmt.Errorf("cluster: negative arrival rate")
+	}
+	return nil
+}
+
+// server is one fleet member.
+type server struct {
+	machine *hypervisor.Machine
+	agent   *core.Agent
+	evm     *hypervisor.VM
+	tenants map[*tenant]struct{}
+
+	maxAlloc           int
+	warmCoreSec        float64 // elastic core-seconds at warmup
+	warmCPUSec         float64
+	tenantsHostedTotal int
+}
+
+func (s *server) allocUsed(vmCores int) int { return len(s.tenants) * vmCores }
+
+// tenant is one placed primary VM.
+type tenant struct {
+	vm     *hypervisor.VM
+	server *server
+	srv    *workload.Server
+	spec   apps.PrimarySpec
+}
+
+// ServerStats summarizes one server's run.
+type ServerStats struct {
+	TenantsHosted     int
+	AvgHarvestedCores float64
+	ElasticCPUSeconds float64
+	Safeguards        uint64
+	QoSTrips          uint64
+}
+
+// Result aggregates a fleet run.
+type Result struct {
+	Placed, Rejected  int
+	Departed          int
+	PerServer         []ServerStats
+	FleetAvgHarvested float64 // per-server average of harvested cores
+	HarvestedCoreSec  float64 // total elastic core-seconds beyond minimums
+	ElasticCPUSec     float64 // total elastic CPU actually executed
+	TenantLatency     metrics.Summary
+}
+
+// Run executes the fleet simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := simrng.New(cfg.Seed)
+	loop := sim.NewLoop()
+
+	maxAlloc := cfg.CoresPerServer - cfg.ElasticMin
+	servers := make([]*server, cfg.Servers)
+	for i := range servers {
+		hvCfg := hypervisor.DefaultConfig(cfg.CoresPerServer)
+		hvCfg.Mechanism = cfg.Mechanism
+		hvCfg.Seed = rng.Uint64()
+		machine, err := hypervisor.New(loop, hvCfg)
+		if err != nil {
+			return nil, err
+		}
+		// Empty server: one core reserved for the (absent) primaries'
+		// floor, everything else harvestable.
+		machine.SetInitialSplit(1)
+		evm := machine.AddVM("elastic", hypervisor.ElasticGroup, cfg.CoresPerServer, cfg.CoresPerServer)
+		apps.NewCPUBully(loop, evm).Start()
+
+		agentCfg := core.DefaultConfig(maxAlloc, cfg.ElasticMin)
+		if cfg.Mechanism == hypervisor.IPI {
+			agentCfg.PostResizeSleep = 0
+		}
+		ctrl := cfg.Controller(maxAlloc)
+		agentCfg.LongTermSafeguard = ctrl.Safeguards()
+		agent, err := core.NewAgent(loop, machineAdapter{machine}, ctrl, agentCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := agent.SetPrimaryAlloc(1); err != nil {
+			return nil, err
+		}
+		agent.Start()
+		servers[i] = &server{
+			machine: machine, agent: agent, evm: evm,
+			tenants: map[*tenant]struct{}{}, maxAlloc: maxAlloc,
+		}
+	}
+
+	res := &Result{}
+	merged := metrics.NewHistogram()
+	var runErr error
+
+	// place puts a new tenant on the first server with room.
+	place := func() {
+		spec := cfg.Workloads[rng.Intn(len(cfg.Workloads))]
+		var target *server
+		for _, s := range servers {
+			if s.allocUsed(cfg.VMCores)+cfg.VMCores <= s.maxAlloc {
+				target = s
+				break
+			}
+		}
+		if target == nil {
+			res.Rejected++
+			return
+		}
+		vm := target.machine.AddVM(spec.Name, hypervisor.PrimaryGroup, cfg.VMCores, cfg.VMCores)
+		srv, err := spec.Build(loop, vm, rng.Split(), cfg.Warmup)
+		if err != nil {
+			runErr = err
+			return
+		}
+		srv.Start()
+		tn := &tenant{vm: vm, server: target, srv: srv, spec: spec}
+		target.tenants[tn] = struct{}{}
+		target.tenantsHostedTotal++
+		res.Placed++
+		if err := target.agent.SetPrimaryAlloc(target.allocUsed(cfg.VMCores)); err != nil {
+			runErr = err
+			return
+		}
+		// Schedule departure.
+		life := sim.Time(rng.Exp(float64(cfg.MeanLifetime)))
+		loop.After(life, func() {
+			if runErr != nil {
+				return
+			}
+			merged.Merge(tn.srv.Latency())
+			tn.server.machine.RemoveVM(tn.vm)
+			delete(tn.server.tenants, tn)
+			res.Departed++
+			alloc := tn.server.allocUsed(cfg.VMCores)
+			if alloc < 1 {
+				alloc = 1 // empty-server floor
+			}
+			if err := tn.server.agent.SetPrimaryAlloc(alloc); err != nil {
+				runErr = err
+			}
+		})
+	}
+
+	// Tenant arrival process.
+	if cfg.ArrivalRate > 0 {
+		var next func()
+		next = func() {
+			place()
+			loop.After(sim.Time(rng.Exp(1e9/cfg.ArrivalRate)), next)
+		}
+		loop.After(sim.Time(rng.Exp(1e9/cfg.ArrivalRate)), next)
+	}
+
+	loop.At(cfg.Warmup, func() {
+		for _, s := range servers {
+			s.warmCoreSec = s.machine.CoreSeconds(hypervisor.ElasticGroup)
+			s.warmCPUSec = s.evm.CPUTime().Seconds()
+		}
+	})
+
+	end := cfg.Warmup + cfg.Duration
+	loop.RunUntil(end)
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	measured := cfg.Duration.Seconds()
+	for _, s := range servers {
+		harvestedSec := s.machine.CoreSeconds(hypervisor.ElasticGroup) - s.warmCoreSec -
+			float64(cfg.ElasticMin)*measured
+		if harvestedSec < 0 {
+			harvestedSec = 0
+		}
+		cpuSec := s.evm.CPUTime().Seconds() - s.warmCPUSec
+		res.PerServer = append(res.PerServer, ServerStats{
+			TenantsHosted:     s.tenantsHostedTotal,
+			AvgHarvestedCores: harvestedSec / measured,
+			ElasticCPUSeconds: cpuSec,
+			Safeguards:        s.agent.SafeguardInvocations(),
+			QoSTrips:          s.agent.QoSTrips(),
+		})
+		res.HarvestedCoreSec += harvestedSec
+		res.ElasticCPUSec += cpuSec
+		res.FleetAvgHarvested += harvestedSec / measured
+	}
+	res.FleetAvgHarvested /= float64(len(servers))
+	// Latencies of tenants still resident at the end.
+	for _, s := range servers {
+		for tn := range s.tenants {
+			merged.Merge(tn.srv.Latency())
+		}
+	}
+	res.TenantLatency = merged.Summarize()
+	return res, nil
+}
+
+// machineAdapter bridges the machine to the agent contract (the same
+// adapter the single-server harness uses; duplicated to avoid exporting
+// it from harness).
+type machineAdapter struct {
+	m *hypervisor.Machine
+}
+
+func (a machineAdapter) TotalCores() int            { return a.m.TotalCores() }
+func (a machineAdapter) BusyPrimaryCores() int      { return a.m.BusyCores(hypervisor.PrimaryGroup) }
+func (a machineAdapter) SetPrimaryCores(n int) bool { return a.m.SetPrimaryCores(n) }
+func (a machineAdapter) ResizeLatency() sim.Time    { return a.m.ResizeLatency() }
+func (a machineAdapter) DrainPrimaryWaits() []int64 { return a.m.DrainPrimaryWaits() }

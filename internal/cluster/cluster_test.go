@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"testing"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/core"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/sim"
+)
+
+func TestFleetHarvestsIdleCapacity(t *testing.T) {
+	res, err := Run(Config{
+		Servers:      4,
+		ArrivalRate:  0.8,
+		MeanLifetime: 15 * sim.Second,
+		Duration:     20 * sim.Second,
+		Warmup:       2 * sim.Second,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed == 0 {
+		t.Fatal("no tenants placed")
+	}
+	if len(res.PerServer) != 4 {
+		t.Fatalf("per-server stats %d", len(res.PerServer))
+	}
+	// Tenants average ~2 busy cores of 10 allocated; plus empty servers
+	// donate almost everything: the fleet must harvest heavily.
+	if res.FleetAvgHarvested < 5 {
+		t.Fatalf("fleet harvested %v cores/server; idle capacity not recovered",
+			res.FleetAvgHarvested)
+	}
+	if res.ElasticCPUSec <= 0 || res.HarvestedCoreSec <= 0 {
+		t.Fatalf("elastic work accounting: %v / %v", res.ElasticCPUSec, res.HarvestedCoreSec)
+	}
+	if res.TenantLatency.Count == 0 {
+		t.Fatal("no tenant latencies recorded")
+	}
+}
+
+func TestFleetRejectsWhenFull(t *testing.T) {
+	// One tiny server and a flood of arrivals: most must be rejected,
+	// never placed beyond capacity.
+	res, err := Run(Config{
+		Servers:        1,
+		CoresPerServer: 11, // room for exactly one 10-core tenant
+		ArrivalRate:    3,
+		MeanLifetime:   300 * sim.Second, // effectively no departures
+		Duration:       10 * sim.Second,
+		Warmup:         sim.Second,
+		Seed:           5,
+		Workloads:      []apps.PrimarySpec{apps.Memcached(40000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 1 {
+		t.Fatalf("placed %d on a one-slot server", res.Placed)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("overflow arrivals were not rejected")
+	}
+}
+
+func TestFleetDeparturesFreeCapacity(t *testing.T) {
+	// Short lifetimes: departures must happen and capacity recycle.
+	res, err := Run(Config{
+		Servers:      2,
+		ArrivalRate:  1.5,
+		MeanLifetime: 4 * sim.Second,
+		Duration:     25 * sim.Second,
+		Warmup:       2 * sim.Second,
+		Seed:         7,
+		Workloads:    []apps.PrimarySpec{apps.Memcached(40000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departed == 0 {
+		t.Fatal("no departures")
+	}
+	hosted := 0
+	for _, s := range res.PerServer {
+		hosted += s.TenantsHosted
+	}
+	if hosted != res.Placed {
+		t.Fatalf("hosted %d != placed %d", hosted, res.Placed)
+	}
+	// With recycling, a 2-server fleet (4 slots) must host more tenants
+	// than its instantaneous capacity over 25s.
+	if res.Placed <= 4 {
+		t.Fatalf("placed only %d tenants; capacity did not recycle", res.Placed)
+	}
+}
+
+func TestFleetProtectsTenantTails(t *testing.T) {
+	// The merged tenant latency distribution should look like healthy
+	// Memcached (sub-millisecond P99), not a harvesting victim.
+	res, err := Run(Config{
+		Servers:      2,
+		ArrivalRate:  0.5,
+		MeanLifetime: 20 * sim.Second,
+		Duration:     20 * sim.Second,
+		Warmup:       2 * sim.Second,
+		Seed:         11,
+		Workloads:    []apps.PrimarySpec{apps.Memcached(40000)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TenantLatency.P99 > int64(sim.Millisecond) {
+		t.Fatalf("fleet tenant P99 %v; harvesting hurt the tenants", sim.Time(res.TenantLatency.P99))
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{
+			Servers: 2, ArrivalRate: 1, MeanLifetime: 8 * sim.Second,
+			Duration: 8 * sim.Second, Warmup: sim.Second, Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Placed != b.Placed || a.Departed != b.Departed ||
+		a.FleetAvgHarvested != b.FleetAvgHarvested {
+		t.Fatalf("fleet runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	bad := []Config{
+		{Servers: 0},
+		{Servers: 1, CoresPerServer: 5}, // too small for a tenant
+		{Servers: 1, ArrivalRate: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFleetCustomController(t *testing.T) {
+	res, err := Run(Config{
+		Servers: 1, ArrivalRate: 0.5, MeanLifetime: 10 * sim.Second,
+		Duration: 10 * sim.Second, Warmup: sim.Second, Seed: 2,
+		Controller: harness.ControllerFactory(func(alloc int) core.Controller {
+			return core.NewFixedBuffer(alloc, 4)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed == 0 {
+		t.Fatal("no placements")
+	}
+}

@@ -1,0 +1,470 @@
+// Package core implements SmartHarvest's EVMAgent (the paper's Algorithm
+// 1) and the harvesting policies it is compared against. The agent runs on
+// the simulation event loop, polls the hypervisor for busy primary cores
+// at a fine interval, and at each learning-window boundary asks its
+// Controller for the next primary-core target, enforcing the paper's two
+// safeguards:
+//
+//   - short-term: if at any poll the primary VMs are using every core they
+//     were assigned, the window is cut short and the assignment expanded,
+//     because the buffer is empty and the learner is blind;
+//   - long-term: if primary vCPU dispatch waits show sustained
+//     starvation for consecutive QoS windows, harvesting is disabled
+//     entirely for a cool-down period while learning continues in the
+//     background.
+package core
+
+import (
+	"fmt"
+
+	"smartharvest/internal/metrics"
+	"smartharvest/internal/sim"
+)
+
+// Hypervisor is the narrow, black-box interface the agent needs — the
+// same contract the paper's agent gets from Hyper-V's Host Compute
+// Service. internal/harness adapts the simulated machine to it; a real
+// cgroup or KVM backend could implement it too.
+type Hypervisor interface {
+	// TotalCores is the size of the harvesting pool.
+	TotalCores() int
+	// BusyPrimaryCores returns how many primary-group cores currently
+	// run an active software thread.
+	BusyPrimaryCores() int
+	// SetPrimaryCores requests a new primary-group size; the remainder
+	// goes to the ElasticVM. Returns true if a change was initiated.
+	SetPrimaryCores(n int) bool
+	// ResizeLatency is how long the agent is busy issuing the hypercalls
+	// for one resize.
+	ResizeLatency() sim.Time
+	// DrainPrimaryWaits returns primary vCPU dispatch-wait samples (ns)
+	// recorded since the last call.
+	DrainPrimaryWaits() []int64
+}
+
+// Window is what a Controller sees at a learning-window boundary.
+type Window struct {
+	// Samples are the busy-core readings collected this window, oldest
+	// first. Never empty.
+	Samples []int
+	// Peak is the maximum busy-core reading this window.
+	Peak int
+	// Peak1s is the maximum over roughly the trailing second, used by
+	// the conservative short-term safeguard.
+	Peak1s int
+	// Safeguard reports that the window was cut short because the
+	// primary VMs exhausted their assignment.
+	Safeguard bool
+	// CurrentTarget is the primary-core assignment in force.
+	CurrentTarget int
+	// Busy is the busy-core reading at the decision instant.
+	Busy int
+}
+
+// Controller decides core assignments. Implementations: SmartHarvest
+// (online learning), FixedBuffer, PrevPeak/PrevPeakN, EWMA, NoHarvest.
+type Controller interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// OnWindowEnd returns the primary-core target for the next window.
+	OnWindowEnd(w Window) int
+	// OnPoll lets reactive policies (FixedBuffer) adjust at poll
+	// granularity; return ok=false to do nothing.
+	OnPoll(busy, currentTarget int) (target int, ok bool)
+	// Safeguards reports whether the agent's short-term safeguard should
+	// watch this policy's windows (SmartHarvest and PrevPeak variants).
+	Safeguards() bool
+}
+
+// Config parameterizes the agent. DefaultConfig gives the paper's values.
+type Config struct {
+	// PrimaryAlloc is the number of cores allocated (sold) to the
+	// primary VMs; the prediction classes are 0..PrimaryAlloc.
+	PrimaryAlloc int
+	// ElasticMin is the ElasticVM's guaranteed minimum core count.
+	ElasticMin int
+	// Window is the learning-window length (paper default 25 ms).
+	Window sim.Time
+	// PollInterval is the busy-core sampling period (paper: 50 µs).
+	PollInterval sim.Time
+	// PostResizeSleep is how long the agent sleeps after a resize to let
+	// it take effect (paper: 10 ms on cpugroups, 0 with IPIs).
+	PostResizeSleep sim.Time
+	// PeakHistory is the lookback for the conservative safeguard's
+	// "peak over the past second".
+	PeakHistory sim.Time
+
+	// LongTermSafeguard enables the vCPU-wait QoS guard.
+	LongTermSafeguard bool
+	// QoSWindow is the wait-monitoring period (paper: 500 ms).
+	QoSWindow sim.Time
+	// QoSWaitThreshold is the per-dispatch wait considered bad (50 µs).
+	QoSWaitThreshold sim.Time
+	// QoSViolationFrac is the fraction of primary vCPU dispatch waits
+	// exceeding QoSWaitThreshold that arms the guard (the paper's 1%).
+	QoSViolationFrac float64
+	// QoSConsecutive is how many consecutive bad windows trip it (2).
+	QoSConsecutive int
+	// HarvestPause is how long harvesting stays disabled once tripped
+	// (10 s).
+	HarvestPause sim.Time
+
+	// RecordSeries enables per-window time-series recording (allocation
+	// and observed peak), used by Figure 7.
+	RecordSeries bool
+}
+
+// DefaultConfig returns the paper's tuned parameters for a machine with
+// the given primary allocation and elastic minimum.
+func DefaultConfig(primaryAlloc, elasticMin int) Config {
+	return Config{
+		PrimaryAlloc:      primaryAlloc,
+		ElasticMin:        elasticMin,
+		Window:            25 * sim.Millisecond,
+		PollInterval:      50 * sim.Microsecond,
+		PostResizeSleep:   10 * sim.Millisecond,
+		PeakHistory:       sim.Second,
+		LongTermSafeguard: true,
+		QoSWindow:         500 * sim.Millisecond,
+		QoSWaitThreshold:  50 * sim.Microsecond,
+		QoSViolationFrac:  0.01,
+		QoSConsecutive:    1,
+		HarvestPause:      10 * sim.Second,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.PrimaryAlloc < 1 {
+		return fmt.Errorf("core: PrimaryAlloc must be >= 1")
+	}
+	if c.ElasticMin < 0 {
+		return fmt.Errorf("core: ElasticMin must be >= 0")
+	}
+	if c.Window <= 0 || c.PollInterval <= 0 || c.PollInterval > c.Window {
+		return fmt.Errorf("core: need 0 < PollInterval <= Window")
+	}
+	if c.PostResizeSleep < 0 || c.PeakHistory < c.Window {
+		return fmt.Errorf("core: bad sleep/history")
+	}
+	// The QoS monitor runs regardless of whether the long-term safeguard
+	// acts on it, so its parameters must always be sane.
+	if c.QoSWindow <= 0 || c.QoSWaitThreshold <= 0 ||
+		c.QoSViolationFrac <= 0 || c.QoSViolationFrac > 1 || c.QoSConsecutive < 1 ||
+		c.HarvestPause <= 0 {
+		return fmt.Errorf("core: bad long-term safeguard parameters")
+	}
+	return nil
+}
+
+// windowPeak is one entry of the trailing peak history.
+type windowPeak struct {
+	at   sim.Time
+	peak int
+}
+
+// Agent is the EVMAgent: it owns the polling loop, the safeguards, and
+// the resize mechanics, delegating the per-window decision to a
+// Controller.
+type Agent struct {
+	loop *sim.Loop
+	hv   Hypervisor
+	cfg  Config
+	ctrl Controller
+
+	target      int // primary cores currently requested
+	samples     []int
+	windowEnd   sim.Time
+	peaks       []windowPeak
+	pausedUntil sim.Time // long-term safeguard cool-down end
+	qosStrikes  int
+	started     bool
+
+	// Stats.
+	windows       uint64
+	safeguards    uint64
+	qosTrips      uint64
+	resizeCount   uint64
+	targetSeries  metrics.Series
+	peakSeries    metrics.Series
+	qosViolations metrics.Series
+}
+
+// NewAgent wires an agent. The controller must already be configured for
+// cfg.PrimaryAlloc classes.
+func NewAgent(loop *sim.Loop, hv Hypervisor, ctrl Controller, cfg Config) (*Agent, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PrimaryAlloc+cfg.ElasticMin > hv.TotalCores() {
+		return nil, fmt.Errorf("core: alloc %d + elastic min %d exceeds %d cores",
+			cfg.PrimaryAlloc, cfg.ElasticMin, hv.TotalCores())
+	}
+	return &Agent{
+		loop: loop, hv: hv, cfg: cfg, ctrl: ctrl,
+		target:       cfg.PrimaryAlloc,
+		targetSeries: metrics.Series{Name: "primary-target"},
+		peakSeries:   metrics.Series{Name: "window-peak"},
+	}, nil
+}
+
+// Controller returns the agent's policy.
+func (a *Agent) Controller() Controller { return a.ctrl }
+
+// Target returns the current primary-core target.
+func (a *Agent) Target() int { return a.target }
+
+// Windows returns how many learning windows have completed.
+func (a *Agent) Windows() uint64 { return a.windows }
+
+// SafeguardInvocations returns how often the short-term safeguard fired.
+func (a *Agent) SafeguardInvocations() uint64 { return a.safeguards }
+
+// QoSTrips returns how often the long-term safeguard disabled harvesting.
+func (a *Agent) QoSTrips() uint64 { return a.qosTrips }
+
+// ResizeCount returns how many resizes the agent issued.
+func (a *Agent) ResizeCount() uint64 { return a.resizeCount }
+
+// TargetSeries returns the recorded per-window primary-core assignment
+// (empty unless Config.RecordSeries).
+func (a *Agent) TargetSeries() *metrics.Series { return &a.targetSeries }
+
+// PeakSeries returns the recorded per-window observed peak (empty unless
+// Config.RecordSeries).
+func (a *Agent) PeakSeries() *metrics.Series { return &a.peakSeries }
+
+// QoSViolationSeries returns the per-QoS-window fraction of bad dispatch
+// waits (empty unless Config.RecordSeries).
+func (a *Agent) QoSViolationSeries() *metrics.Series { return &a.qosViolations }
+
+// HarvestingPaused reports whether the long-term safeguard currently has
+// harvesting disabled.
+func (a *Agent) HarvestingPaused() bool { return a.loop.Now() < a.pausedUntil }
+
+// AllocAware is implemented by controllers that can follow primary-VM
+// arrivals and departures (allocation changes) at runtime.
+type AllocAware interface {
+	// SetAlloc informs the controller of the new total primary core
+	// allocation. Implementations may require it not to exceed the
+	// allocation they were constructed for.
+	SetAlloc(alloc int)
+}
+
+// SetPrimaryAlloc adjusts the agent to a changed primary allocation, as
+// when a primary VM arrives or departs. Departed tenants' cores become
+// harvestable immediately (the target clamp drops); new tenants' cores
+// are honored from the next decision on. The controller is informed if it
+// implements AllocAware.
+func (a *Agent) SetPrimaryAlloc(n int) error {
+	if n < 1 || n+a.cfg.ElasticMin > a.hv.TotalCores() {
+		return fmt.Errorf("core: primary alloc %d out of range [1, %d]",
+			n, a.hv.TotalCores()-a.cfg.ElasticMin)
+	}
+	a.cfg.PrimaryAlloc = n
+	if aa, ok := a.ctrl.(AllocAware); ok {
+		aa.SetAlloc(n)
+	}
+	// Shrink the in-force assignment right away if it now exceeds the
+	// allocation; growth happens through normal window decisions.
+	if a.target > n {
+		a.target = n
+		if a.hv.SetPrimaryCores(n) {
+			a.resizeCount++
+		}
+	}
+	return nil
+}
+
+// PrimaryAlloc returns the agent's current notion of the primary
+// allocation.
+func (a *Agent) PrimaryAlloc() int { return a.cfg.PrimaryAlloc }
+
+// Start begins the agent's loops. The primary VMs initially hold their
+// full allocation.
+func (a *Agent) Start() {
+	if a.started {
+		panic("core: agent started twice")
+	}
+	a.started = true
+	a.hv.SetPrimaryCores(a.target)
+	a.beginWindow()
+	// The QoS monitor always runs (it also keeps the hypervisor's wait
+	// buffer drained and feeds diagnostics); it only *acts* when the
+	// long-term safeguard is enabled.
+	a.loop.NewTicker(a.cfg.QoSWindow, a.cfg.QoSWindow, a.qosCheck)
+}
+
+// beginWindow resets window state and schedules the first poll.
+func (a *Agent) beginWindow() {
+	a.samples = a.samples[:0]
+	a.windowEnd = a.loop.Now() + a.cfg.Window
+	a.schedulePoll()
+}
+
+func (a *Agent) schedulePoll() {
+	a.loop.After(a.cfg.PollInterval, a.poll)
+}
+
+// poll is one iteration of Algorithm 1's inner loop.
+func (a *Agent) poll() {
+	busy := a.hv.BusyPrimaryCores()
+	a.samples = append(a.samples, busy)
+
+	// Short-term safeguard: the primaries are using everything we left
+	// them; cut the window short and expand (Algorithm 1 lines 7-9).
+	if a.ctrl.Safeguards() && busy >= a.target && a.target < a.cfg.PrimaryAlloc {
+		a.endWindow(true, busy)
+		return
+	}
+
+	// Reactive policies (FixedBuffer) adjust between windows.
+	if t, ok := a.ctrl.OnPoll(busy, a.target); ok {
+		t = a.clampTarget(t, busy)
+		if delay := a.applyTarget(t); delay > 0 {
+			// The single-threaded agent is busy resizing/sleeping;
+			// resume polling (and postpone the window edge) after.
+			if a.loop.Now()+delay > a.windowEnd {
+				a.windowEnd = a.loop.Now() + delay
+			}
+			a.loop.After(delay, a.schedulePoll)
+			return
+		}
+	}
+
+	if a.loop.Now() >= a.windowEnd {
+		a.endWindow(false, busy)
+		return
+	}
+	a.schedulePoll()
+}
+
+// endWindow runs the Controller, applies the new target, and schedules
+// the next window.
+func (a *Agent) endWindow(safeguard bool, busy int) {
+	a.windows++
+	if safeguard {
+		a.safeguards++
+	}
+	now := a.loop.Now()
+	peak := 0
+	for _, s := range a.samples {
+		if s > peak {
+			peak = s
+		}
+	}
+	a.peaks = append(a.peaks, windowPeak{at: now, peak: peak})
+	a.trimPeaks(now)
+
+	w := Window{
+		Samples:       a.samples,
+		Peak:          peak,
+		Peak1s:        a.peak1s(),
+		Safeguard:     safeguard,
+		CurrentTarget: a.target,
+		Busy:          busy,
+	}
+	target := a.clampTarget(a.ctrl.OnWindowEnd(w), busy)
+
+	if a.cfg.RecordSeries {
+		a.targetSeries.Add(int64(now), float64(target))
+		a.peakSeries.Add(int64(now), float64(peak))
+	}
+
+	delay := a.applyTarget(target)
+	if delay > 0 {
+		a.loop.After(delay, a.beginWindow)
+	} else {
+		a.beginWindow()
+	}
+}
+
+// clampTarget enforces Algorithm 1 line 20 (never assign fewer than
+// busy+1 cores) and the allocation bounds, and pins the target to the
+// full allocation while the long-term safeguard has harvesting paused.
+func (a *Agent) clampTarget(target, busy int) int {
+	if a.HarvestingPaused() {
+		return a.cfg.PrimaryAlloc
+	}
+	if m := busy + 1; target < m {
+		target = m
+	}
+	if target > a.cfg.PrimaryAlloc {
+		target = a.cfg.PrimaryAlloc
+	}
+	return target
+}
+
+// applyTarget issues the resize if needed and returns how long the agent
+// is occupied by it (hypercalls plus the post-resize sleep).
+func (a *Agent) applyTarget(target int) sim.Time {
+	if target == a.target {
+		return 0
+	}
+	a.target = target
+	changed := a.hv.SetPrimaryCores(target)
+	if !changed {
+		return 0
+	}
+	a.resizeCount++
+	return a.hv.ResizeLatency() + a.cfg.PostResizeSleep
+}
+
+// trimPeaks drops history older than PeakHistory.
+func (a *Agent) trimPeaks(now sim.Time) {
+	cut := 0
+	for cut < len(a.peaks) && a.peaks[cut].at < now-a.cfg.PeakHistory {
+		cut++
+	}
+	if cut > 0 {
+		a.peaks = append(a.peaks[:0], a.peaks[cut:]...)
+	}
+}
+
+// peak1s returns the maximum observed peak over the trailing history.
+func (a *Agent) peak1s() int {
+	p := 0
+	for _, wp := range a.peaks {
+		if wp.peak > p {
+			p = wp.peak
+		}
+	}
+	return p
+}
+
+// qosCheck is the long-term safeguard (paper §3.4): if at least
+// QoSViolationFrac of primary vCPU dispatch waits exceed the threshold
+// for QoSConsecutive consecutive windows, give every core back and pause
+// harvesting.
+func (a *Agent) qosCheck() {
+	waits := a.hv.DrainPrimaryWaits()
+	bad := 0
+	for _, w := range waits {
+		if w > int64(a.cfg.QoSWaitThreshold) {
+			bad++
+		}
+	}
+	frac := 0.0
+	if len(waits) > 0 {
+		frac = float64(bad) / float64(len(waits))
+	}
+	if a.cfg.RecordSeries {
+		a.qosViolations.Add(int64(a.loop.Now()), frac)
+	}
+	if frac >= a.cfg.QoSViolationFrac {
+		a.qosStrikes++
+	} else {
+		a.qosStrikes = 0
+	}
+	if !a.cfg.LongTermSafeguard {
+		return
+	}
+	if a.qosStrikes >= a.cfg.QoSConsecutive && !a.HarvestingPaused() {
+		a.qosTrips++
+		a.qosStrikes = 0
+		a.pausedUntil = a.loop.Now() + a.cfg.HarvestPause
+		a.target = a.cfg.PrimaryAlloc
+		if a.hv.SetPrimaryCores(a.target) {
+			a.resizeCount++
+		}
+	}
+}

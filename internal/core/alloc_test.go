@@ -1,0 +1,172 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"smartharvest/internal/sim"
+)
+
+func TestSetPrimaryAllocShrinksImmediately(t *testing.T) {
+	loop := sim.NewLoop()
+	hv := newFake(loop, 21)
+	hv.busyFn = func(sim.Time) int { return 2 }
+	ctrl := NewSmartHarvest(20, SmartHarvestOptions{})
+	cfg := DefaultConfig(20, 1)
+	cfg.LongTermSafeguard = false
+	a, err := NewAgent(loop, hv, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	loop.RunUntil(100 * sim.Millisecond)
+	// A tenant departs: allocation drops to 10.
+	if err := a.SetPrimaryAlloc(10); err != nil {
+		t.Fatal(err)
+	}
+	if a.PrimaryAlloc() != 10 {
+		t.Fatalf("alloc %d", a.PrimaryAlloc())
+	}
+	if hv.primary > 10 {
+		t.Fatalf("primary %d; departed cores not released", hv.primary)
+	}
+	loop.RunUntil(2 * sim.Second)
+	// All later targets respect the smaller allocation.
+	for _, r := range hv.resizeLog {
+		_ = r
+	}
+	if hv.primary > 10 {
+		t.Fatalf("primary %d exceeds new alloc", hv.primary)
+	}
+}
+
+func TestSetPrimaryAllocGrowthHonoredNextWindow(t *testing.T) {
+	loop := sim.NewLoop()
+	hv := newFake(loop, 21)
+	busy := 2
+	hv.busyFn = func(sim.Time) int { return busy }
+	ctrl := NewSmartHarvest(20, SmartHarvestOptions{})
+	cfg := DefaultConfig(20, 1)
+	cfg.LongTermSafeguard = false
+	a, err := NewAgent(loop, hv, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetPrimaryAlloc(10); err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	loop.RunUntil(sim.Second)
+	// A tenant arrives: allocation returns to 20, and demand rises.
+	if err := a.SetPrimaryAlloc(20); err != nil {
+		t.Fatal(err)
+	}
+	busy = 12
+	loop.RunUntil(3 * sim.Second)
+	if hv.primary < 13 {
+		t.Fatalf("primary %d; agent did not expand for the new tenant", hv.primary)
+	}
+}
+
+func TestSetPrimaryAllocValidation(t *testing.T) {
+	loop := sim.NewLoop()
+	hv := newFake(loop, 11)
+	a := defaultAgent(t, loop, hv, NewSmartHarvest(10, SmartHarvestOptions{}), nil)
+	if err := a.SetPrimaryAlloc(0); err == nil {
+		t.Fatal("alloc 0 accepted")
+	}
+	if err := a.SetPrimaryAlloc(11); err == nil {
+		t.Fatal("alloc beyond total-elasticMin accepted")
+	}
+}
+
+func TestControllersSetAlloc(t *testing.T) {
+	// Every stock controller follows allocation changes.
+	for _, c := range []Controller{
+		NewSmartHarvest(20, SmartHarvestOptions{}),
+		NewFixedBuffer(20, 15),
+		NewPrevPeak(20, 10, true),
+		NewNoHarvest(20),
+		NewEWMAController(20, 0.3, 1),
+	} {
+		aa, ok := c.(AllocAware)
+		if !ok {
+			t.Fatalf("%s does not implement AllocAware", c.Name())
+		}
+		aa.SetAlloc(10)
+		// After shrinking, no decision may exceed the new allocation.
+		w := Window{Samples: []int{10, 10}, Peak: 10, Peak1s: 10, Busy: 9, CurrentTarget: 10}
+		if got := c.OnWindowEnd(w); got > 10 {
+			t.Errorf("%s returned %d after SetAlloc(10)", c.Name(), got)
+		}
+		wSafe := w
+		wSafe.Safeguard = true
+		if c.Safeguards() {
+			if got := c.OnWindowEnd(wSafe); got > 10 {
+				t.Errorf("%s safeguard returned %d after SetAlloc(10)", c.Name(), got)
+			}
+		}
+	}
+}
+
+func TestSmartHarvestSetAllocBounds(t *testing.T) {
+	s := NewSmartHarvest(10, SmartHarvestOptions{})
+	for _, bad := range []int{0, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SetAlloc(%d) did not panic", bad)
+				}
+			}()
+			s.SetAlloc(bad)
+		}()
+	}
+	s.SetAlloc(5) // within the constructed class range: fine
+}
+
+func TestFixedBufferSetAllocClampsK(t *testing.T) {
+	f := NewFixedBuffer(20, 15)
+	f.SetAlloc(10)
+	// k was 15 > new alloc; must clamp so targets stay valid.
+	target, ok := f.OnPoll(0, 99)
+	if !ok || target > 10 {
+		t.Fatalf("target %d ok=%v", target, ok)
+	}
+}
+
+func TestSmartHarvestModelPersistence(t *testing.T) {
+	train := func(s *SmartHarvest) {
+		w := Window{Samples: []int{1, 2, 3, 2}, Peak: 3, Peak1s: 3, Busy: 1, CurrentTarget: 10}
+		for i := 0; i < 200; i++ {
+			s.OnWindowEnd(w)
+		}
+	}
+	a := NewSmartHarvest(10, SmartHarvestOptions{})
+	train(a)
+	var buf bytes.Buffer
+	if err := a.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewSmartHarvest(10, SmartHarvestOptions{})
+	if err := b.LoadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w := Window{Samples: []int{1, 2, 3, 2}, Peak: 3, Peak1s: 3, Busy: 1, CurrentTarget: 10}
+	if got, want := b.OnWindowEnd(w), a.OnWindowEnd(w); got != want {
+		t.Fatalf("restored decision %d != original %d", got, want)
+	}
+	// Class mismatch rejected.
+	var buf2 bytes.Buffer
+	if err := a.SaveModel(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	c := NewSmartHarvest(5, SmartHarvestOptions{})
+	if err := c.LoadModel(&buf2); err == nil {
+		t.Fatal("class mismatch accepted")
+	}
+	// Adaptive models do not persist.
+	d := NewSmartHarvest(10, SmartHarvestOptions{Adaptive: true})
+	if err := d.SaveModel(&buf2); err == nil {
+		t.Fatal("adaptive save accepted")
+	}
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"smartharvest/internal/learner"
+)
+
+// SafeguardMode selects the short-term safeguard response (paper §3.4 and
+// Figure 10).
+type SafeguardMode int
+
+const (
+	// ConservativeSafeguard expands the primaries to one more than their
+	// peak usage over the trailing second. The paper's default.
+	ConservativeSafeguard SafeguardMode = iota
+	// AggressiveSafeguard returns every core to the primaries, trading
+	// harvest for complete feedback.
+	AggressiveSafeguard
+)
+
+func (m SafeguardMode) String() string {
+	if m == AggressiveSafeguard {
+		return "aggressive"
+	}
+	return "conservative"
+}
+
+// SmartHarvest is the paper's controller: cost-sensitive multi-class
+// classification over the five window features, predicting the next
+// window's peak primary core usage.
+type SmartHarvest struct {
+	alloc  int
+	fe     *learner.FeatureExtractor
+	masked *learner.MaskedExtractor // nil = all five features
+	model  learner.Model
+	cost   learner.CostFunc
+	mode   SafeguardMode
+
+	x, prevX []float64
+	costs    []float64
+	havePrev bool
+
+	predictions  uint64
+	trainUpdates uint64
+}
+
+// SmartHarvestOptions tunes the controller; zero values mean defaults.
+type SmartHarvestOptions struct {
+	// LearningRate defaults to 0.1 (VW's default, kept constant).
+	LearningRate float64
+	// Cost defaults to the skewed cost with UnderPenalty = alloc.
+	Cost learner.CostFunc
+	// Safeguard defaults to ConservativeSafeguard.
+	Safeguard SafeguardMode
+	// Features restricts the learner to a subset of the five window
+	// features ("min", "max", "avg", "std", "median"); empty means all.
+	// Used by the feature-set ablation.
+	Features []string
+	// Adaptive switches the per-class regressors to AdaGrad per-weight
+	// step sizes instead of the paper's constant rate. Converges faster
+	// on stationary workloads but responds slower to late behaviour
+	// changes; included for the predictor ablation.
+	Adaptive bool
+}
+
+// NewSmartHarvest builds the controller for primary allocation `alloc`
+// (classes 0..alloc).
+func NewSmartHarvest(alloc int, opts SmartHarvestOptions) *SmartHarvest {
+	if alloc < 1 {
+		panic(fmt.Sprintf("core: bad alloc %d", alloc))
+	}
+	if opts.LearningRate == 0 {
+		opts.LearningRate = 0.1
+	}
+	if opts.Cost == nil {
+		opts.Cost = learner.SkewedCost{UnderPenalty: float64(alloc)}
+	}
+	classes := alloc + 1
+	var model learner.Model = learner.NewCSOAA(classes, learner.NumFeatures, opts.LearningRate)
+	if opts.Adaptive {
+		model = learner.NewAdaptiveCSOAA(classes, learner.NumFeatures, opts.LearningRate)
+	}
+	s := &SmartHarvest{
+		alloc: alloc,
+		fe:    learner.NewFeatureExtractor(alloc),
+		model: model,
+		cost:  opts.Cost,
+		mode:  opts.Safeguard,
+		x:     make([]float64, learner.NumFeatures),
+		prevX: make([]float64, learner.NumFeatures),
+		costs: make([]float64, classes),
+	}
+	if len(opts.Features) > 0 {
+		s.masked = learner.NewMaskedExtractor(alloc, opts.Features...)
+	}
+	// Conservative prior: before any feedback, behave as if the peak is
+	// the full allocation, so the cold start cannot starve the primaries.
+	s.model.InitBias(learner.FillCosts(s.costs, s.cost, alloc))
+	return s
+}
+
+// Name implements Controller.
+func (s *SmartHarvest) Name() string { return "smartharvest" }
+
+// Safeguards implements Controller.
+func (s *SmartHarvest) Safeguards() bool { return true }
+
+// OnPoll implements Controller; SmartHarvest only acts at window ends.
+func (s *SmartHarvest) OnPoll(busy, currentTarget int) (int, bool) { return 0, false }
+
+// Predictions returns how many model predictions have been made.
+func (s *SmartHarvest) Predictions() uint64 { return s.predictions }
+
+// TrainUpdates returns how many model updates have been applied.
+func (s *SmartHarvest) TrainUpdates() uint64 { return s.trainUpdates }
+
+// Model exposes the underlying classifier for diagnostics.
+func (s *SmartHarvest) Model() learner.Model { return s.model }
+
+// OnWindowEnd implements Algorithm 1 lines 12-18. On a safeguard window
+// the model is neither trained nor re-featurized (the observed peak is
+// censored by the empty buffer), and the assignment is expanded. On a
+// normal window the model first learns from the previous prediction's
+// features against this window's observed peak — full supervised feedback
+// — then predicts the next peak from this window's features.
+func (s *SmartHarvest) OnWindowEnd(w Window) int {
+	if w.Safeguard {
+		if s.mode == AggressiveSafeguard {
+			return s.alloc
+		}
+		t := w.Peak1s + 1
+		if t > s.alloc {
+			t = s.alloc
+		}
+		return t
+	}
+	if s.havePrev {
+		s.model.Update(s.prevX, learner.FillCosts(s.costs, s.cost, w.Peak))
+		s.trainUpdates++
+	}
+	if s.masked != nil {
+		s.masked.Compute(s.x, w.Samples, float64(s.alloc))
+	} else {
+		f := s.fe.Compute(w.Samples)
+		f.Vector(s.x, float64(s.alloc))
+	}
+	copy(s.prevX, s.x)
+	s.havePrev = true
+	s.predictions++
+	t := s.model.Predict(s.x)
+	if t > s.alloc {
+		// Classes above the current allocation exist when the model was
+		// sized for a larger tenant mix (VM churn); they are not
+		// assignable.
+		t = s.alloc
+	}
+	return t
+}
+
+// FixedBuffer is the PerfIso-style baseline: keep exactly K idle cores
+// above the primaries' instantaneous usage, sliding the buffer reactively
+// at every poll.
+type FixedBuffer struct {
+	alloc int
+	k     int
+}
+
+// NewFixedBuffer builds the baseline with buffer size k.
+func NewFixedBuffer(alloc, k int) *FixedBuffer {
+	if alloc < 1 || k < 0 || k > alloc {
+		panic(fmt.Sprintf("core: bad FixedBuffer alloc=%d k=%d", alloc, k))
+	}
+	return &FixedBuffer{alloc: alloc, k: k}
+}
+
+// Name implements Controller.
+func (f *FixedBuffer) Name() string { return fmt.Sprintf("fixedbuffer-%d", f.k) }
+
+// Safeguards implements Controller: the fixed buffer has no safeguard;
+// its reactivity is the whole mechanism.
+func (f *FixedBuffer) Safeguards() bool { return false }
+
+// OnPoll implements Controller.
+func (f *FixedBuffer) OnPoll(busy, currentTarget int) (int, bool) {
+	t := busy + f.k
+	if t > f.alloc {
+		t = f.alloc
+	}
+	if t == currentTarget {
+		return 0, false
+	}
+	return t, true
+}
+
+// OnWindowEnd implements Controller with the same rule.
+func (f *FixedBuffer) OnWindowEnd(w Window) int {
+	t, ok := f.OnPoll(w.Busy, w.CurrentTarget)
+	if !ok {
+		return w.CurrentTarget
+	}
+	return t
+}
+
+// PrevPeak allocates the peak usage observed over the last N windows.
+// N=1 is the paper's PrevPeak baseline; N=10 is PrevPeak10, whose
+// safeguard returns one core at a time instead of everything.
+type PrevPeak struct {
+	alloc     int
+	n         int
+	returnOne bool
+	history   []int
+}
+
+// NewPrevPeak builds the heuristic baseline over n windows. returnOne
+// selects the gentler safeguard response (used by PrevPeak10).
+func NewPrevPeak(alloc, n int, returnOne bool) *PrevPeak {
+	if alloc < 1 || n < 1 {
+		panic(fmt.Sprintf("core: bad PrevPeak alloc=%d n=%d", alloc, n))
+	}
+	return &PrevPeak{alloc: alloc, n: n, returnOne: returnOne}
+}
+
+// Name implements Controller.
+func (p *PrevPeak) Name() string {
+	if p.n == 1 {
+		return "prevpeak"
+	}
+	return fmt.Sprintf("prevpeak%d", p.n)
+}
+
+// Safeguards implements Controller.
+func (p *PrevPeak) Safeguards() bool { return true }
+
+// OnPoll implements Controller.
+func (p *PrevPeak) OnPoll(busy, currentTarget int) (int, bool) { return 0, false }
+
+// OnWindowEnd implements Controller.
+func (p *PrevPeak) OnWindowEnd(w Window) int {
+	if w.Safeguard {
+		// The observed peak is censored; respond per variant.
+		if p.returnOne {
+			t := w.CurrentTarget + 1
+			if t > p.alloc {
+				t = p.alloc
+			}
+			return t
+		}
+		return p.alloc
+	}
+	p.history = append(p.history, w.Peak)
+	if len(p.history) > p.n {
+		p.history = p.history[len(p.history)-p.n:]
+	}
+	t := 0
+	for _, v := range p.history {
+		if v > t {
+			t = v
+		}
+	}
+	if t > p.alloc {
+		t = p.alloc
+	}
+	return t
+}
+
+// EWMAController is the smoothing baseline from the paper's motivation:
+// predict the next peak as an exponentially weighted moving average of
+// past peaks plus a fixed margin. Included for the predictor ablation.
+type EWMAController struct {
+	alloc int
+	ewma  *learner.EWMA
+}
+
+// NewEWMAController builds the baseline (alpha smoothing, margin cores).
+func NewEWMAController(alloc int, alpha float64, margin int) *EWMAController {
+	if alloc < 1 {
+		panic("core: bad alloc")
+	}
+	return &EWMAController{alloc: alloc, ewma: learner.NewEWMA(alpha, margin, alloc)}
+}
+
+// Name implements Controller.
+func (e *EWMAController) Name() string { return "ewma" }
+
+// Safeguards implements Controller.
+func (e *EWMAController) Safeguards() bool { return true }
+
+// OnPoll implements Controller.
+func (e *EWMAController) OnPoll(busy, currentTarget int) (int, bool) { return 0, false }
+
+// OnWindowEnd implements Controller.
+func (e *EWMAController) OnWindowEnd(w Window) int {
+	if w.Safeguard {
+		t := w.Peak1s + 1
+		if t > e.alloc {
+			t = e.alloc
+		}
+		return t
+	}
+	e.ewma.Observe(w.Peak)
+	t := e.ewma.Predict()
+	if t > e.alloc {
+		t = e.alloc
+	}
+	return t
+}
+
+// NoHarvest keeps every core with the primaries; the ElasticVM runs on
+// its minimum only. This is the baseline every latency comparison is
+// anchored to.
+type NoHarvest struct {
+	alloc int
+}
+
+// NewNoHarvest builds the null policy.
+func NewNoHarvest(alloc int) *NoHarvest {
+	if alloc < 1 {
+		panic("core: bad alloc")
+	}
+	return &NoHarvest{alloc: alloc}
+}
+
+// Name implements Controller.
+func (n *NoHarvest) Name() string { return "noharvest" }
+
+// Safeguards implements Controller.
+func (n *NoHarvest) Safeguards() bool { return false }
+
+// OnPoll implements Controller.
+func (n *NoHarvest) OnPoll(busy, currentTarget int) (int, bool) { return 0, false }
+
+// OnWindowEnd implements Controller.
+func (n *NoHarvest) OnWindowEnd(w Window) int { return n.alloc }
+
+// SetAlloc implements AllocAware. The new allocation must not exceed the
+// allocation the controller was constructed for (the model's class count
+// is fixed); construct with the machine's maximum when VM churn is
+// expected.
+func (s *SmartHarvest) SetAlloc(alloc int) {
+	if alloc < 1 || alloc >= s.model.Classes() {
+		panic(fmt.Sprintf("core: SmartHarvest SetAlloc(%d) outside [1, %d]",
+			alloc, s.model.Classes()-1))
+	}
+	s.alloc = alloc
+	// Feature history from the old tenant mix describes a different
+	// machine state; drop it rather than train across the boundary.
+	s.havePrev = false
+}
+
+// SetAlloc implements AllocAware.
+func (f *FixedBuffer) SetAlloc(alloc int) {
+	if alloc < 1 {
+		panic("core: bad alloc")
+	}
+	f.alloc = alloc
+	if f.k > alloc {
+		f.k = alloc
+	}
+}
+
+// SetAlloc implements AllocAware. Peak history from the previous tenant
+// mix is discarded.
+func (p *PrevPeak) SetAlloc(alloc int) {
+	if alloc < 1 {
+		panic("core: bad alloc")
+	}
+	p.alloc = alloc
+	p.history = p.history[:0]
+}
+
+// SetAlloc implements AllocAware.
+func (n *NoHarvest) SetAlloc(alloc int) {
+	if alloc < 1 {
+		panic("core: bad alloc")
+	}
+	n.alloc = alloc
+}
+
+// SetAlloc implements AllocAware. The EWMA level is kept (it tracks load,
+// which may persist across a mix change) but future predictions clamp to
+// the new allocation.
+func (e *EWMAController) SetAlloc(alloc int) {
+	if alloc < 1 {
+		panic("core: bad alloc")
+	}
+	e.alloc = alloc
+}
+
+// SaveModel persists the learner's weights (constant-rate CSOAA models
+// only), so a restarted host agent resumes from what it learned instead
+// of the conservative prior.
+func (s *SmartHarvest) SaveModel(w io.Writer) error {
+	m, ok := s.model.(*learner.CSOAA)
+	if !ok {
+		return fmt.Errorf("core: model type does not support persistence")
+	}
+	return m.Save(w)
+}
+
+// LoadModel replaces the learner's weights with previously saved ones.
+// The saved model must have been trained for the same class count.
+func (s *SmartHarvest) LoadModel(r io.Reader) error {
+	m, err := learner.LoadCSOAA(r)
+	if err != nil {
+		return err
+	}
+	if m.Classes() != s.model.Classes() {
+		return fmt.Errorf("core: saved model has %d classes, want %d",
+			m.Classes(), s.model.Classes())
+	}
+	s.model = m
+	s.havePrev = false
+	return nil
+}

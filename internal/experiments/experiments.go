@@ -1,0 +1,680 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment builds its scenarios through
+// internal/harness, runs them on the simulator, and formats the same
+// rows/series the paper reports. cmd/experiments exposes them on the
+// command line; bench_test.go at the repository root wraps each one in a
+// testing.B benchmark.
+//
+// Absolute numbers differ from the paper (the substrate is a calibrated
+// simulator, not the authors' Hyper-V testbed); the shapes — who wins, by
+// roughly what factor, where the crossovers fall — are the reproduction
+// target. EXPERIMENTS.md records paper-vs-measured for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/core"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/metrics"
+	"smartharvest/internal/sim"
+	"smartharvest/internal/textplot"
+)
+
+// Config scales the experiments. The zero value is invalid; use Default
+// or Quick.
+type Config struct {
+	// Duration is the measured run length per scenario.
+	Duration sim.Time
+	// Warmup precedes each measurement.
+	Warmup sim.Time
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Default returns the full-length configuration (30 s measured per run,
+// close to the paper's one-minute runs but tractable on one core).
+func Default() Config {
+	return Config{Duration: 30 * sim.Second, Warmup: 2 * sim.Second, Seed: 1}
+}
+
+// Quick returns a configuration for smoke tests and benchmarks.
+func Quick() Config {
+	return Config{Duration: 6 * sim.Second, Warmup: 2 * sim.Second, Seed: 1}
+}
+
+// Report is a formatted experiment result.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Runner is an experiment entry point.
+type Runner func(Config) (*Report, error)
+
+// All maps experiment IDs to runners, in the paper's order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"table1", Table1},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"table2", Table2},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"table3", Table3},
+		{"fig15", Fig15},
+		{"ablation", Ablations},
+		{"churn", Churn},
+		{"fleet", Fleet},
+		{"guard-sweep", SafeguardSweep},
+		{"memharvest", MemHarvest},
+	}
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// ms formats nanoseconds as milliseconds with sensible precision.
+func ms(ns int64) string {
+	v := float64(ns) / 1e6
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0fms", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2fms", v)
+	default:
+		return fmt.Sprintf("%.0fus", float64(ns)/1e3)
+	}
+}
+
+// pct formats the latency delta of p99 against a baseline.
+func pct(p99, base int64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", (float64(p99)/float64(base)-1)*100)
+}
+
+// standardPrimaries returns the paper's four primary workloads at their
+// §5.1 loads.
+func standardPrimaries() []apps.PrimarySpec {
+	return []apps.PrimarySpec{
+		apps.IndexServe(500),
+		apps.Memcached(40000),
+		apps.Moses(400),
+		apps.ImgDNN(2000),
+	}
+}
+
+// subMillisecond reports whether the paper's QoS-guard constants are
+// usable for this workload in the simulator. The 50 µs dispatch-wait
+// threshold presumes Hyper-V's per-dispatch counter; under the
+// simulator's coarser per-work-item accounting, millisecond-scale
+// services exceed it routinely even when healthy (see DESIGN.md), so
+// those runs disable the long-term guard.
+func subMillisecond(spec apps.PrimarySpec) bool {
+	return strings.HasPrefix(spec.Name, "memcached")
+}
+
+// scenario builds a single-primary scenario with the shared defaults.
+func scenario(cfg Config, name string, spec apps.PrimarySpec, ctrl harness.ControllerFactory) harness.Scenario {
+	return harness.Scenario{
+		Name:              name,
+		Primaries:         []apps.PrimarySpec{spec},
+		Batch:             harness.BatchCPUBully,
+		Controller:        ctrl,
+		Duration:          cfg.Duration,
+		Warmup:            cfg.Warmup,
+		Seed:              cfg.Seed,
+		LongTermSafeguard: subMillisecond(spec),
+	}
+}
+
+func smartharvest() harness.ControllerFactory {
+	return harness.SmartHarvestFactory(core.SmartHarvestOptions{})
+}
+
+// Table1 reproduces the paper's Table 1: average and average-peak busy
+// cores for each primary workload running alone in a 10-core VM, polled
+// every 50 µs with peaks per 25 ms window.
+func Table1(cfg Config) (*Report, error) {
+	r := &Report{ID: "table1", Title: "avg CPU stats in #cores (primary alone, 10-core VM)"}
+	r.addf("%-12s %10s %12s %12s", "workload", "qps", "avg busy", "avg peak")
+	paper := map[string][2]float64{
+		"indexserve": {1.3, 7.0}, "memcached": {2.3, 7.7},
+		"moses": {1.5, 5.2}, "img-dnn": {1.7, 6.9},
+	}
+	for _, spec := range standardPrimaries() {
+		s := scenario(cfg, "table1-"+spec.Name, spec, harness.NoHarvestFactory())
+		s.CollectBusyStats = true
+		res, err := harness.Run(s)
+		if err != nil {
+			return nil, err
+		}
+		p := paper[spec.Name]
+		r.addf("%-12s %10.0f %12.2f %12.2f   (paper: %.1f / %.1f)",
+			spec.Name, spec.QPS, res.AvgBusyCores, res.AvgWindowPeak, p[0], p[1])
+	}
+	return r, nil
+}
+
+// Fig4 reproduces the learning-window sweep: Memcached + CPUBully with
+// 15/25/35 ms windows, reporting P99 against the harvest achieved.
+func Fig4(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig4", Title: "learning window size exploration (Memcached 40k + CPUBully)"}
+	base, err := harness.Run(scenario(cfg, "fig4-base", apps.Memcached(40000), harness.NoHarvestFactory()))
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%-22s %10s %8s %12s", "config", "P99", "vs base", "harvested")
+	r.addf("%-22s %10s %8s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00")
+	for _, w := range []sim.Time{15 * sim.Millisecond, 25 * sim.Millisecond, 35 * sim.Millisecond} {
+		s := scenario(cfg, "fig4-w", apps.Memcached(40000), smartharvest())
+		s.Window = w
+		res, err := harness.Run(s)
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-22s %10s %8s %12.2f",
+			fmt.Sprintf("smartharvest (%dms)", int(w.Milliseconds())),
+			ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+	}
+	return r, nil
+}
+
+// fig5Buffers gives the fixed-buffer sweep per workload, matching the
+// figure legends ("Fixed Buffer (7-2)" etc.).
+var fig5Buffers = map[string][]int{
+	"indexserve": {7, 5, 4, 3, 2},
+	"memcached":  {7, 6, 5, 4, 3, 2},
+	"moses":      {8, 7, 6, 5, 4, 3},
+	"img-dnn":    {8, 7, 6, 5, 4, 3},
+}
+
+// Fig5 reproduces the single-primary comparison: P99 latency versus
+// average cores harvested for NoHarvest, the FixedBuffer sweep,
+// SmartHarvest, and PrevPeak, for each of the four primaries co-located
+// with CPUBully.
+func Fig5(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig5", Title: "single primary VM co-located with CPUBully"}
+	for _, spec := range standardPrimaries() {
+		base, err := harness.Run(scenario(cfg, "fig5-base", spec, harness.NoHarvestFactory()))
+		if err != nil {
+			return nil, err
+		}
+		r.addf("--- %s (%0.0f qps), allowed P99 = +10%% of %s ---", spec.Name, spec.QPS, ms(base.P99(0)))
+		r.addf("%-18s %10s %8s %10s %12s %s", "policy", "P99", "vs base", "P99.9", "harvested", "flags")
+		type row struct {
+			name string
+			f    harness.ControllerFactory
+		}
+		rows := []row{{"smartharvest", smartharvest()}, {"prevpeak", harness.PrevPeakFactory(1, false)}}
+		for _, k := range fig5Buffers[spec.Name] {
+			k := k
+			rows = append(rows, row{fmt.Sprintf("fixedbuffer-%d", k), harness.FixedBufferFactory(k)})
+		}
+		scatter := map[string][]textplot.Point{
+			"noharvest": {{X: 0, Y: float64(base.P99(0)) / 1e6}},
+		}
+		for _, rw := range rows {
+			res, err := harness.Run(scenario(cfg, "fig5-"+spec.Name+"-"+rw.name, spec, rw.f))
+			if err != nil {
+				return nil, err
+			}
+			flags := ""
+			if float64(res.P99(0)) > float64(base.P99(0))*1.1 {
+				flags = "VIOLATES +10%"
+			}
+			r.addf("%-18s %10s %8s %10s %12.2f %s",
+				rw.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
+				ms(res.Primaries[0].Latency.P999), res.AvgHarvestedCores, flags)
+			key := rw.name
+			if strings.HasPrefix(key, "fixedbuffer") {
+				key = "fixedbuffer"
+			}
+			scatter[key] = append(scatter[key], textplot.Point{
+				X: res.AvgHarvestedCores, Y: float64(res.P99(0)) / 1e6,
+			})
+		}
+		plot := textplot.Render([]textplot.Series{
+			{Name: "no harvesting", Glyph: '@', Points: scatter["noharvest"]},
+			{Name: "smartharvest", Glyph: '*', Points: scatter["smartharvest"]},
+			{Name: "prevpeak", Glyph: 'o', Points: scatter["prevpeak"]},
+			{Name: "fixed buffers", Glyph: '+', Points: scatter["fixedbuffer"]},
+		}, textplot.Options{
+			Title:  fmt.Sprintf("%s: P99 vs cores harvested", spec.Name),
+			XLabel: "avg cores harvested", YLabel: "P99 ms", LogY: true,
+			Width: 52, Height: 12,
+		})
+		r.Lines = append(r.Lines, strings.Split(strings.TrimRight(plot, "\n"), "\n")...)
+	}
+	return r, nil
+}
+
+// Fig6 reproduces the realistic-batch experiment: IndexServe co-located
+// with HDInsight and TeraSort, reporting batch speedup (vs a 1-core
+// ElasticVM) against IndexServe's P99.
+func Fig6(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig6", Title: "IndexServe co-located with real batch workloads"}
+	spec := apps.IndexServe(500)
+	for _, batch := range []harness.BatchKind{harness.BatchHDInsight, harness.BatchTeraSort} {
+		base, err := harness.Run(scenario(cfg, "fig6-base", spec, harness.NoHarvestFactory()))
+		if err != nil {
+			return nil, err
+		}
+		r.addf("--- %s w/ %s, no-harvest P99 = %s ---", spec.Name, batch, ms(base.P99(0)))
+		r.addf("%-18s %10s %8s %9s", "policy", "P99", "vs base", "speedup")
+		type row struct {
+			name string
+			f    harness.ControllerFactory
+		}
+		rows := []row{
+			{"smartharvest", smartharvest()},
+			{"prevpeak", harness.PrevPeakFactory(1, false)},
+			{"fixedbuffer-7", harness.FixedBufferFactory(7)},
+			{"fixedbuffer-4", harness.FixedBufferFactory(4)},
+			{"fixedbuffer-2", harness.FixedBufferFactory(2)},
+		}
+		for _, rw := range rows {
+			s := scenario(cfg, "fig6-"+rw.name, spec, rw.f)
+			s.Batch = batch
+			speedup, with, _, err := harness.RunSpeedup(s)
+			if err != nil {
+				return nil, err
+			}
+			r.addf("%-18s %10s %8s %8.2fx",
+				rw.name, ms(with.P99(0)), pct(with.P99(0), base.P99(0)), speedup)
+		}
+	}
+	return r, nil
+}
+
+// Table2 reproduces the Memcached varying-load experiment: the offered
+// load steps 80k -> 20k -> 160k QPS, and each policy's per-phase P99 and
+// overall harvest are reported.
+func Table2(cfg Config) (*Report, error) {
+	r := &Report{ID: "table2", Title: "Memcached with varying load over time (80k/20k/160k QPS)"}
+	// Each offered load runs for the full configured duration (the paper
+	// gives each load a minute); short phases would let the transition
+	// spike dominate the phase P99.
+	phaseLen := cfg.Duration
+	spec := apps.MemcachedVaryingLoad([]float64{80000, 20000, 160000}, phaseLen)
+
+	// Per-phase latencies need phase boundaries on the server; rebuild
+	// the spec with them. Phases align to warmup + i*phaseLen.
+	// Histogram phases must align with the arrival process's phase
+	// boundaries (which count from t=0), not with the warmup cut.
+	mkScenario := func(name string, f harness.ControllerFactory) harness.Scenario {
+		s := scenario(cfg, name, specWithPhases(spec, []sim.Time{
+			phaseLen, 2 * phaseLen,
+		}), f)
+		s.Duration = 3 * phaseLen
+		return s
+	}
+	type row struct {
+		name string
+		f    harness.ControllerFactory
+	}
+	rows := []row{
+		{"noharvest", harness.NoHarvestFactory()},
+		{"smartharvest", smartharvest()},
+		{"prevpeak", harness.PrevPeakFactory(1, false)},
+		{"fixedbuffer-5", harness.FixedBufferFactory(5)},
+		{"fixedbuffer-6", harness.FixedBufferFactory(6)},
+		{"fixedbuffer-7", harness.FixedBufferFactory(7)},
+	}
+	r.addf("%-15s %12s %12s %12s %10s", "policy", "P99@80k", "P99@20k", "P99@160k", "harvested")
+	for _, rw := range rows {
+		res, err := harness.Run(mkScenario("table2-"+rw.name, rw.f))
+		if err != nil {
+			return nil, err
+		}
+		ph := res.Primaries[0].Phases
+		if len(ph) < 3 {
+			return nil, fmt.Errorf("table2: expected 3 phases, got %d", len(ph))
+		}
+		r.addf("%-15s %12s %12s %12s %10.2f",
+			rw.name, ms(ph[0].P99), ms(ph[1].P99), ms(ph[2].P99), res.AvgHarvestedCores)
+	}
+	return r, nil
+}
+
+// specWithPhases wraps a PrimarySpec so the built server records
+// per-phase latencies.
+func specWithPhases(spec apps.PrimarySpec, boundaries []sim.Time) apps.PrimarySpec {
+	return apps.WithPhaseBoundaries(spec, boundaries)
+}
+
+// Fig7 reproduces the square-wave comparison against the conservative
+// PrevPeak10 heuristic: the per-window allocation-vs-peak time series and
+// the P99/harvest scatter.
+func Fig7(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig7", Title: "synthetic square-wave primary vs PrevPeak10 (CPUBully batch)"}
+	spec := apps.SquareWave(8, 1, 500*sim.Millisecond)
+	base, err := harness.Run(scenario(cfg, "fig7-base", spec, harness.NoHarvestFactory()))
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%-18s %10s %8s %12s", "policy", "P99", "vs base", "harvested")
+	r.addf("%-18s %10s %8s %12s", "noharvest", ms(base.P99(0)), "-", "0.00")
+	series := map[string]*harness.Result{}
+	for _, rw := range []struct {
+		name string
+		f    harness.ControllerFactory
+	}{
+		{"prevpeak10", harness.PrevPeakFactory(10, true)},
+		{"smartharvest", smartharvest()},
+	} {
+		s := scenario(cfg, "fig7-"+rw.name, spec, rw.f)
+		s.RecordSeries = true
+		res, err := harness.Run(s)
+		if err != nil {
+			return nil, err
+		}
+		series[rw.name] = res
+		r.addf("%-18s %10s %8s %12.2f",
+			rw.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+	}
+	// Time-series excerpt (Figure 7a): allocated cores vs observed peak
+	// over two square-wave periods, per policy.
+	for _, name := range []string{"prevpeak10", "smartharvest"} {
+		res := series[name]
+		excerptStart := cfg.Warmup + cfg.Duration/2
+		excerptEnd := excerptStart + 2*sim.Second
+		var alloc, peak []textplot.Point
+		for i, p := range res.TargetSeries.Points {
+			if sim.Time(p.Time) < excerptStart || sim.Time(p.Time) > excerptEnd {
+				continue
+			}
+			ts := float64(p.Time) / 1e9
+			alloc = append(alloc, textplot.Point{X: ts, Y: p.Value})
+			peak = append(peak, textplot.Point{X: ts, Y: res.PeakSeries.Points[i].Value})
+		}
+		plot := textplot.Render([]textplot.Series{
+			{Name: "allocated cores", Glyph: '#', Points: alloc},
+			{Name: "window peak usage", Glyph: '.', Points: peak},
+		}, textplot.Options{
+			Title:  fmt.Sprintf("%s: allocation vs square-wave usage", name),
+			XLabel: "time s", YLabel: "cores", YMin: 0, YMax: 11,
+			Width: 64, Height: 12,
+		})
+		r.Lines = append(r.Lines, strings.Split(strings.TrimRight(plot, "\n"), "\n")...)
+	}
+	return r, nil
+}
+
+// Fig8 reproduces the two-Memcached shared-cpugroup experiment.
+func Fig8(cfg Config) (*Report, error) {
+	return multiPrimary(cfg, "fig8", "Memcached + Memcached with CPUBully",
+		[]apps.PrimarySpec{apps.Memcached(40000), apps.Memcached(40000)},
+		[]int{17, 16, 15, 14})
+}
+
+// Fig9 reproduces the mixed-SLO experiment: Memcached + IndexServe.
+func Fig9(cfg Config) (*Report, error) {
+	return multiPrimary(cfg, "fig9", "Memcached + IndexServe with CPUBully",
+		[]apps.PrimarySpec{apps.Memcached(40000), apps.IndexServe(500)},
+		[]int{10, 8, 6})
+}
+
+func multiPrimary(cfg Config, id, title string, primaries []apps.PrimarySpec, buffers []int) (*Report, error) {
+	r := &Report{ID: id, Title: title}
+	mk := func(name string, f harness.ControllerFactory) harness.Scenario {
+		return harness.Scenario{
+			Name:              name,
+			Primaries:         primaries,
+			Batch:             harness.BatchCPUBully,
+			Controller:        f,
+			Duration:          cfg.Duration,
+			Warmup:            cfg.Warmup,
+			Seed:              cfg.Seed,
+			LongTermSafeguard: true,
+		}
+	}
+	base, err := harness.Run(mk(id+"-base", harness.NoHarvestFactory()))
+	if err != nil {
+		return nil, err
+	}
+	header := fmt.Sprintf("%-18s", "policy")
+	baseline := fmt.Sprintf("%-18s", "noharvest")
+	for i, p := range base.Primaries {
+		header += fmt.Sprintf(" %16s", p.Name+" P99")
+		baseline += fmt.Sprintf(" %16s", ms(base.P99(i)))
+	}
+	r.addf("%s %10s %6s", header, "harvested", "trips")
+	r.addf("%s %10s %6d", baseline, "0.00", 0)
+	rows := []struct {
+		name string
+		f    harness.ControllerFactory
+	}{{"smartharvest", smartharvest()}}
+	for _, k := range buffers {
+		k := k
+		rows = append(rows, struct {
+			name string
+			f    harness.ControllerFactory
+		}{fmt.Sprintf("fixedbuffer-%d", k), harness.FixedBufferFactory(k)})
+	}
+	for _, rw := range rows {
+		res, err := harness.Run(mk(id+"-"+rw.name, rw.f))
+		if err != nil {
+			return nil, err
+		}
+		line := fmt.Sprintf("%-18s", rw.name)
+		for i := range res.Primaries {
+			line += fmt.Sprintf(" %9s %6s", ms(res.P99(i)), pct(res.P99(i), base.P99(i)))
+		}
+		r.addf("%s %10.2f %6d", line, res.AvgHarvestedCores, res.QoSTrips)
+	}
+	return r, nil
+}
+
+// Fig10 compares the conservative and aggressive short-term safeguards on
+// Memcached + CPUBully.
+func Fig10(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig10", Title: "short-term safeguards (Memcached 40k + CPUBully)"}
+	base, err := harness.Run(scenario(cfg, "fig10-base", apps.Memcached(40000), harness.NoHarvestFactory()))
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%-22s %10s %8s %12s %12s", "safeguard", "P99", "vs base", "harvested", "invocations")
+	r.addf("%-22s %10s %8s %12s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00", "-")
+	for _, mode := range []core.SafeguardMode{core.ConservativeSafeguard, core.AggressiveSafeguard} {
+		f := harness.SmartHarvestFactory(core.SmartHarvestOptions{Safeguard: mode})
+		res, err := harness.Run(scenario(cfg, "fig10-"+mode.String(), apps.Memcached(40000), f))
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-22s %10s %8s %12.2f %12d",
+			mode.String(), ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
+			res.AvgHarvestedCores, res.Safeguards)
+	}
+	return r, nil
+}
+
+// Fig11 shows the long-term safeguard rescuing a hard-to-predict primary
+// mix (two Memcacheds with sharp aperiodic load swings).
+func Fig11(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig11", Title: "long-term safeguard (2x swinging Memcached + CPUBully)"}
+	primaries := []apps.PrimarySpec{apps.MemcachedSwinging(60000), apps.MemcachedSwinging(60000)}
+	mk := func(name string, f harness.ControllerFactory, guard bool) harness.Scenario {
+		return harness.Scenario{
+			Name: name, Primaries: primaries, Batch: harness.BatchCPUBully,
+			Controller: f, Duration: cfg.Duration, Warmup: cfg.Warmup, Seed: cfg.Seed,
+			LongTermSafeguard: guard,
+		}
+	}
+	base, err := harness.Run(mk("fig11-base", harness.NoHarvestFactory(), false))
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%-30s %12s %12s %8s %10s %6s", "policy", "vm0 P99", "vm1 P99", "vs base", "harvested", "trips")
+	r.addf("%-30s %12s %12s %8s %10s %6s", "noharvest",
+		ms(base.P99(0)), ms(base.P99(1)), "-", "0.00", "-")
+	for _, rw := range []struct {
+		name  string
+		guard bool
+	}{
+		{"smartharvest (no long-term)", false},
+		{"smartharvest (long-term)", true},
+	} {
+		res, err := harness.Run(mk("fig11-"+rw.name, smartharvest(), rw.guard))
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-30s %12s %12s %8s %10.2f %6d",
+			rw.name, ms(res.P99(0)), ms(res.P99(1)),
+			pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores, res.QoSTrips)
+	}
+	return r, nil
+}
+
+// Fig13 compares the three cost functions of Figure 12 on Memcached.
+func Fig13(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig13", Title: "cost functions (Memcached 40k + CPUBully)"}
+	base, err := harness.Run(scenario(cfg, "fig13-base", apps.Memcached(40000), harness.NoHarvestFactory()))
+	if err != nil {
+		return nil, err
+	}
+	r.addf("%-15s %10s %8s %12s %12s", "cost", "P99", "vs base", "harvested", "safeguards")
+	r.addf("%-15s %10s %8s %12s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00", "-")
+	costs := []struct {
+		name string
+		opts core.SmartHarvestOptions
+	}{
+		{"skewed", core.SmartHarvestOptions{}},
+		{"symmetric", core.SmartHarvestOptions{Cost: learnerSymmetric()}},
+		{"hinged", core.SmartHarvestOptions{Cost: learnerHinged()}},
+	}
+	for _, c := range costs {
+		f := harness.SmartHarvestFactory(c.opts)
+		res, err := harness.Run(scenario(cfg, "fig13-"+c.name, apps.Memcached(40000), f))
+		if err != nil {
+			return nil, err
+		}
+		r.addf("%-15s %10s %8s %12.2f %12d",
+			c.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
+			res.AvgHarvestedCores, res.Safeguards)
+	}
+	return r, nil
+}
+
+// cdfRow prints selected quantiles of a reassignment-latency histogram.
+func cdfRow(label string, s metrics.Summary) string {
+	return fmt.Sprintf("%-22s %10s %10s %10s %10s",
+		label, ms(s.P50), ms(s.P95), ms(s.P99), ms(s.Max))
+}
+
+// Fig14 reproduces the grow/shrink latency CDFs for the two reassignment
+// mechanisms by running the same harvesting scenario on each and reading
+// the per-core move latencies.
+func Fig14(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig14", Title: "time to grow/shrink the ElasticVM by one core"}
+	r.addf("%-22s %10s %10s %10s %10s", "mechanism/op", "P50", "P95", "P99", "max")
+	for _, mech := range []struct {
+		name string
+		m    int
+	}{{"cpugroups", 0}, {"ipis", 1}} {
+		s := scenario(cfg, "fig14-"+mech.name, apps.Memcached(40000), smartharvest())
+		s.Mechanism = hvMechanism(mech.m)
+		res, err := harness.Run(s)
+		if err != nil {
+			return nil, err
+		}
+		r.Lines = append(r.Lines,
+			cdfRow(mech.name+" grow", res.Grow),
+			cdfRow(mech.name+" shrink", res.Shrink))
+		toPoints := func(cdf []metrics.CDFPoint) []textplot.Point {
+			var out []textplot.Point
+			for _, p := range cdf {
+				out = append(out, textplot.Point{X: float64(p.Value) / 1e6, Y: p.Fraction * 100})
+			}
+			return out
+		}
+		plot := textplot.Render([]textplot.Series{
+			{Name: "grow", Glyph: '+', Points: toPoints(res.GrowCDF)},
+			{Name: "shrink", Glyph: '*', Points: toPoints(res.ShrinkCDF)},
+		}, textplot.Options{
+			Title:  fmt.Sprintf("%s: CDF of one-core reassignment latency", mech.name),
+			XLabel: "milliseconds", YLabel: "% of samples", YMin: 0, YMax: 100,
+			Width: 60, Height: 12,
+		})
+		r.Lines = append(r.Lines, strings.Split(strings.TrimRight(plot, "\n"), "\n")...)
+	}
+	return r, nil
+}
+
+// Fig15 reproduces the responsiveness-vs-learning comparison: IndexServe
+// at four loads, cpugroups vs IPIs, SmartHarvest vs a fixed-buffer sweep.
+func Fig15(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig15", Title: "SmartHarvest using cpugroups vs IPIs across IndexServe loads"}
+	for _, qps := range []float64{500, 1000, 1500, 2000} {
+		spec := apps.IndexServe(qps)
+		base, err := harness.Run(scenario(cfg, "fig15-base", spec, harness.NoHarvestFactory()))
+		if err != nil {
+			return nil, err
+		}
+		r.addf("--- IndexServe (%.0f QPS), no-harvest P99 = %s ---", qps, ms(base.P99(0)))
+		r.addf("%-28s %10s %8s %12s", "config", "P99", "vs base", "harvested")
+		for m := 0; m < 2; m++ {
+			mech := hvMechanism(m)
+			rows := []struct {
+				name string
+				f    harness.ControllerFactory
+			}{
+				{"smartharvest", smartharvest()},
+				{"fixedbuffer-6", harness.FixedBufferFactory(6)},
+				{"fixedbuffer-4", harness.FixedBufferFactory(4)},
+				{"fixedbuffer-2", harness.FixedBufferFactory(2)},
+			}
+			for _, rw := range rows {
+				s := scenario(cfg, fmt.Sprintf("fig15-%v-%s", mech, rw.name), spec, rw.f)
+				s.Mechanism = mech
+				res, err := harness.Run(s)
+				if err != nil {
+					return nil, err
+				}
+				r.addf("%-28s %10s %8s %12.2f",
+					fmt.Sprintf("%v %s", mech, rw.name),
+					ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+			}
+		}
+	}
+	return r, nil
+}

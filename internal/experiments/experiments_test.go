@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// runQuick executes an experiment at the Quick scale and sanity-checks
+// the report.
+func runQuick(t *testing.T, id string, minLines int) *Report {
+	t.Helper()
+	run, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	rep, err := run(Quick())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id {
+		t.Fatalf("report ID %q, want %q", rep.ID, id)
+	}
+	if len(rep.Lines) < minLines {
+		t.Fatalf("%s: only %d lines:\n%s", id, len(rep.Lines), rep)
+	}
+	if !strings.Contains(rep.String(), rep.Title) {
+		t.Fatalf("%s: String() missing title", id)
+	}
+	return rep
+}
+
+func TestTable1(t *testing.T) {
+	rep := runQuick(t, "table1", 5)
+	// All four workloads present.
+	for _, w := range []string{"indexserve", "memcached", "moses", "img-dnn"} {
+		if !strings.Contains(rep.String(), w) {
+			t.Errorf("table1 missing %s", w)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	rep := runQuick(t, "fig4", 5)
+	for _, w := range []string{"15ms", "25ms", "35ms"} {
+		if !strings.Contains(rep.String(), w) {
+			t.Errorf("fig4 missing window %s", w)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	rep := runQuick(t, "fig5", 20)
+	if !strings.Contains(rep.String(), "smartharvest") ||
+		!strings.Contains(rep.String(), "fixedbuffer-2") {
+		t.Error("fig5 missing policies")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	rep := runQuick(t, "fig6", 10)
+	if !strings.Contains(rep.String(), "hdinsight") || !strings.Contains(rep.String(), "terasort") {
+		t.Error("fig6 missing batch jobs")
+	}
+	if !strings.Contains(rep.String(), "x") {
+		t.Error("fig6 missing speedups")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	rep := runQuick(t, "table2", 7)
+	for _, w := range []string{"P99@80k", "fixedbuffer-7", "smartharvest"} {
+		if !strings.Contains(rep.String(), w) {
+			t.Errorf("table2 missing %q", w)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	rep := runQuick(t, "fig7", 8)
+	if !strings.Contains(rep.String(), "prevpeak10") {
+		t.Error("fig7 missing prevpeak10")
+	}
+	if !strings.Contains(rep.String(), "allocation vs square-wave usage") {
+		t.Error("fig7 missing time-series plots")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	runQuick(t, "fig8", 5)
+}
+
+func TestFig9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	rep := runQuick(t, "fig9", 4)
+	if !strings.Contains(rep.String(), "indexserve") {
+		t.Error("fig9 missing indexserve column")
+	}
+}
+
+func TestFig10(t *testing.T) {
+	rep := runQuick(t, "fig10", 4)
+	if !strings.Contains(rep.String(), "conservative") || !strings.Contains(rep.String(), "aggressive") {
+		t.Error("fig10 missing safeguard modes")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	rep := runQuick(t, "fig11", 4)
+	if !strings.Contains(rep.String(), "long-term") {
+		t.Error("fig11 missing variants")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	rep := runQuick(t, "fig13", 5)
+	for _, c := range []string{"skewed", "symmetric", "hinged"} {
+		if !strings.Contains(rep.String(), c) {
+			t.Errorf("fig13 missing cost %s", c)
+		}
+	}
+}
+
+func TestFig14(t *testing.T) {
+	rep := runQuick(t, "fig14", 5)
+	for _, w := range []string{"cpugroups grow", "cpugroups shrink", "ipis grow", "ipis shrink"} {
+		if !strings.Contains(rep.String(), w) {
+			t.Errorf("fig14 missing %q", w)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rep := runQuick(t, "table3", 4)
+	for _, w := range []string{"feature computation", "model inference", "model update"} {
+		if !strings.Contains(rep.String(), w) {
+			t.Errorf("table3 missing %q", w)
+		}
+	}
+}
+
+func TestFig15(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	rep := runQuick(t, "fig15", 20)
+	if !strings.Contains(rep.String(), "ipis smartharvest") {
+		t.Error("fig15 missing IPI rows")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	rep := runQuick(t, "ablation", 10)
+	for _, w := range []string{"predictor family", "polling interval", "learning rate"} {
+		if !strings.Contains(rep.String(), w) {
+			t.Errorf("ablation missing %q", w)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown ID resolved")
+	}
+}
+
+func TestAllIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Fatalf("experiment %q has nil runner", e.ID)
+		}
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if ms(500) != "0us" && ms(500) != "1us" {
+		t.Errorf("ms(500ns) = %q", ms(500))
+	}
+	if ms(421_000) != "421us" {
+		t.Errorf("ms(421us) = %q", ms(421_000))
+	}
+	if ms(3_416_063) != "3.42ms" {
+		t.Errorf("ms(3.42ms) = %q", ms(3_416_063))
+	}
+	if ms(138_936_319) != "139ms" {
+		t.Errorf("ms(139ms) = %q", ms(138_936_319))
+	}
+	if pct(110, 100) != "+10%" {
+		t.Errorf("pct = %q", pct(110, 100))
+	}
+	if pct(110, 0) != "n/a" {
+		t.Errorf("pct base 0 = %q", pct(110, 0))
+	}
+}
+
+func TestChurnExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rep := runQuick(t, "churn", 6)
+	if !strings.Contains(rep.String(), "target over time") {
+		t.Error("churn missing allocation trace")
+	}
+}
+
+func TestFleetExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rep := runQuick(t, "fleet", 6)
+	if !strings.Contains(rep.String(), "unallocated-only") ||
+		!strings.Contains(rep.String(), "smartharvest") {
+		t.Error("fleet missing policy rows")
+	}
+}
+
+func TestGuardSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	rep := runQuick(t, "guard-sweep", 10)
+	if !strings.Contains(rep.String(), "guard off") {
+		t.Error("guard-sweep missing guard-off row")
+	}
+	if !strings.Contains(rep.String(), "chronic swings") {
+		t.Error("guard-sweep missing detection section")
+	}
+}
+
+func TestMemHarvestExperiment(t *testing.T) {
+	rep := runQuick(t, "memharvest", 7)
+	if !strings.Contains(rep.String(), "smartharvest-mem") ||
+		!strings.Contains(rep.String(), "fixed-8GB") {
+		t.Error("memharvest missing policy rows")
+	}
+}

@@ -1,0 +1,532 @@
+// Package harness assembles full SmartHarvest experiments: it builds the
+// simulated machine, the primary VMs and their workloads, the ElasticVM
+// and its batch workload, and the EVMAgent with a chosen policy; runs the
+// simulation for a configured duration; and collects the metrics the
+// paper's tables and figures report.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/core"
+	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/metrics"
+	"smartharvest/internal/sim"
+	"smartharvest/internal/simrng"
+	"smartharvest/internal/workload"
+)
+
+// BatchKind selects the ElasticVM workload.
+type BatchKind int
+
+const (
+	// BatchCPUBully runs the synthetic all-you-can-eat consumer.
+	BatchCPUBully BatchKind = iota
+	// BatchHDInsight runs the ML-training job to completion.
+	BatchHDInsight
+	// BatchTeraSort runs the sort job to completion.
+	BatchTeraSort
+	// BatchNone leaves the ElasticVM idle.
+	BatchNone
+)
+
+func (b BatchKind) String() string {
+	switch b {
+	case BatchCPUBully:
+		return "cpubully"
+	case BatchHDInsight:
+		return "hdinsight"
+	case BatchTeraSort:
+		return "terasort"
+	case BatchNone:
+		return "none"
+	default:
+		return fmt.Sprintf("BatchKind(%d)", int(b))
+	}
+}
+
+// ControllerFactory builds a policy for a primary allocation.
+type ControllerFactory func(alloc int) core.Controller
+
+// Scenario fully describes one experiment run.
+type Scenario struct {
+	// Name labels output.
+	Name string
+	// Primaries run one per 10-core VM (PrimaryVMCores overridable).
+	Primaries []apps.PrimarySpec
+	// PrimaryVMCores is the allocation per primary VM (default 10).
+	PrimaryVMCores int
+	// ElasticMin is the ElasticVM's minimum core count (default 1).
+	ElasticMin int
+	// Batch selects the ElasticVM workload (default CPUBully).
+	Batch BatchKind
+	// Mechanism selects cpugroups or IPIs (default cpugroups).
+	Mechanism hypervisor.Mechanism
+	// Controller builds the policy (default SmartHarvest).
+	Controller ControllerFactory
+	// Duration is the measured run length (default 20 s simulated).
+	Duration sim.Time
+	// Warmup precedes Duration; latencies and harvest averages exclude
+	// it (default 2 s).
+	Warmup sim.Time
+	// Window overrides the agent's learning window (default 25 ms).
+	Window sim.Time
+	// PollInterval overrides the busy-poll period (default 50 µs).
+	PollInterval sim.Time
+	// LongTermSafeguard enables the QoS guard (meaningful for policies
+	// with Safeguards(); default on for SmartHarvest-like policies).
+	LongTermSafeguard bool
+	// CollectBusyStats additionally samples busy primary cores at the
+	// poll interval to produce Table 1's statistics.
+	CollectBusyStats bool
+	// RecordSeries captures per-window target/peak series (Figure 7).
+	RecordSeries bool
+	// QoSWaitThreshold and QoSViolationFrac override the long-term
+	// safeguard's trip criterion when non-zero (used by the safeguard
+	// sensitivity ablation).
+	QoSWaitThreshold sim.Time
+	QoSViolationFrac float64
+	// Churn schedules primary-VM arrivals and departures during the run,
+	// exercising the paper's observation that tenants "arrive/depart at
+	// any time". The machine is sized for the maximum concurrent
+	// allocation; cores belonging to departed (or not-yet-arrived)
+	// tenants are unallocated and flow to the ElasticVM.
+	Churn []ChurnEvent
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// ChurnEvent is one primary-VM arrival or departure.
+type ChurnEvent struct {
+	// At is the absolute simulated time of the event.
+	At sim.Time
+	// Depart removes the primary with this index (counting initial
+	// Primaries first, then arrivals in event order). -1 means none.
+	Depart int
+	// Arrive adds a primary VM running this workload. Nil means none.
+	Arrive *apps.PrimarySpec
+}
+
+// PrimaryResult holds one primary workload's outcome.
+type PrimaryResult struct {
+	Name      string
+	Latency   metrics.Summary
+	Phases    []metrics.Summary // per-phase, when the workload defines phases
+	Offered   uint64
+	Completed uint64
+}
+
+// Result is everything a scenario run produces.
+type Result struct {
+	Scenario  string
+	Policy    string
+	Mechanism string
+	Duration  sim.Time
+
+	Primaries []PrimaryResult
+
+	// AvgHarvestedCores is the time-weighted average number of cores the
+	// ElasticVM held beyond its minimum, measured after warmup.
+	AvgHarvestedCores float64
+	// AvgElasticCores includes the minimum.
+	AvgElasticCores float64
+	// ElasticCPUSeconds is CPU actually executed by the ElasticVM after
+	// warmup.
+	ElasticCPUSeconds float64
+
+	// Batch job completion (for HDInsight/TeraSort).
+	BatchFinished bool
+	BatchTime     sim.Time
+
+	// Agent behaviour.
+	Windows    uint64
+	Safeguards uint64
+	QoSTrips   uint64
+	Resizes    uint64
+
+	// Reassignment-mechanism latency (Figure 14).
+	Grow, Shrink metrics.Summary
+	GrowCDF      []metrics.CDFPoint
+	ShrinkCDF    []metrics.CDFPoint
+
+	// Busy-core statistics (Table 1), if CollectBusyStats.
+	AvgBusyCores   float64
+	AvgWindowPeak  float64
+	BusyWindowPeak *metrics.Series // per-25ms-window peaks over time
+
+	// Per-window agent series (Figure 7), if RecordSeries.
+	TargetSeries *metrics.Series
+	PeakSeries   *metrics.Series
+	// QoSViolations is the per-500ms fraction of bad dispatch waits, if
+	// RecordSeries.
+	QoSViolations *metrics.Series
+}
+
+// machineHV adapts the simulated machine to the agent's black-box
+// hypervisor contract.
+type machineHV struct {
+	m *hypervisor.Machine
+}
+
+func (a machineHV) TotalCores() int            { return a.m.TotalCores() }
+func (a machineHV) BusyPrimaryCores() int      { return a.m.BusyCores(hypervisor.PrimaryGroup) }
+func (a machineHV) SetPrimaryCores(n int) bool { return a.m.SetPrimaryCores(n) }
+func (a machineHV) ResizeLatency() sim.Time    { return a.m.ResizeLatency() }
+func (a machineHV) DrainPrimaryWaits() []int64 { return a.m.DrainPrimaryWaits() }
+
+func (s *Scenario) applyDefaults() {
+	if s.PrimaryVMCores == 0 {
+		s.PrimaryVMCores = 10
+	}
+	if s.ElasticMin == 0 {
+		s.ElasticMin = 1
+	}
+	if s.Duration == 0 {
+		s.Duration = 20 * sim.Second
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 2 * sim.Second
+	}
+	if s.Window == 0 {
+		s.Window = 25 * sim.Millisecond
+	}
+	if s.PollInterval == 0 {
+		s.PollInterval = 50 * sim.Microsecond
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Controller == nil {
+		s.Controller = func(alloc int) core.Controller {
+			return core.NewSmartHarvest(alloc, core.SmartHarvestOptions{})
+		}
+		s.LongTermSafeguard = true
+	}
+}
+
+func (s *Scenario) validate() error {
+	if len(s.Primaries) == 0 {
+		return fmt.Errorf("harness: scenario %q has no primary workloads", s.Name)
+	}
+	if s.PrimaryVMCores < 1 || s.ElasticMin < 1 {
+		return fmt.Errorf("harness: scenario %q has bad core counts", s.Name)
+	}
+	return nil
+}
+
+// maxConcurrentAlloc walks the churn schedule and returns the largest
+// concurrent primary allocation the machine must be able to host.
+func (s *Scenario) maxConcurrentAlloc() (int, error) {
+	count := len(s.Primaries)
+	max := count
+	total := count
+	events := append([]ChurnEvent(nil), s.Churn...)
+	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		if ev.Arrive != nil {
+			count++
+			total++
+			if count > max {
+				max = count
+			}
+		}
+		if ev.Depart >= 0 {
+			if ev.Depart >= total {
+				return 0, fmt.Errorf("harness: churn departure index %d out of range", ev.Depart)
+			}
+			count--
+			if count < 1 {
+				return 0, fmt.Errorf("harness: churn would leave no primary VMs")
+			}
+		}
+	}
+	return max * s.PrimaryVMCores, nil
+}
+
+// Run executes the scenario and returns its results.
+func Run(s Scenario) (*Result, error) {
+	s.applyDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	rng := simrng.New(s.Seed)
+
+	alloc := len(s.Primaries) * s.PrimaryVMCores
+	maxAlloc, err := s.maxConcurrentAlloc()
+	if err != nil {
+		return nil, err
+	}
+	total := maxAlloc + s.ElasticMin
+
+	loop := sim.NewLoop()
+	hvCfg := hypervisor.DefaultConfig(total)
+	hvCfg.Mechanism = s.Mechanism
+	hvCfg.Seed = rng.Uint64()
+	machine, err := hypervisor.New(loop, hvCfg)
+	if err != nil {
+		return nil, err
+	}
+	machine.SetInitialSplit(alloc)
+
+	// Primary VMs and servers.
+	var servers []*workload.Server
+	for i, spec := range s.Primaries {
+		vm := machine.AddVM(fmt.Sprintf("%s-%d", spec.Name, i),
+			hypervisor.PrimaryGroup, s.PrimaryVMCores, s.PrimaryVMCores)
+		srv, err := spec.Build(loop, vm, rng.Split(), s.Warmup)
+		if err != nil {
+			return nil, fmt.Errorf("harness: building %s: %w", spec.Name, err)
+		}
+		srv.Start()
+		servers = append(servers, srv)
+	}
+
+	// ElasticVM: as many vCPUs as physical cores (paper §3.2).
+	evm := machine.AddVM("elastic", hypervisor.ElasticGroup, total, total)
+	var batchJob *apps.BatchJob
+	switch s.Batch {
+	case BatchCPUBully:
+		apps.NewCPUBully(loop, evm).Start()
+	case BatchHDInsight:
+		batchJob = apps.HDInsight(loop, evm, nil)
+		batchJob.Start()
+	case BatchTeraSort:
+		batchJob = apps.TeraSort(loop, evm, nil)
+		batchJob.Start()
+	case BatchNone:
+	default:
+		return nil, fmt.Errorf("harness: unknown batch kind %v", s.Batch)
+	}
+
+	// Agent. The controller is sized for the maximum concurrent
+	// allocation so it can follow churn; the agent starts at the initial
+	// allocation.
+	agentCfg := core.DefaultConfig(maxAlloc, s.ElasticMin)
+	agentCfg.Window = s.Window
+	agentCfg.PollInterval = s.PollInterval
+	ctrl := s.Controller(maxAlloc)
+	// The long-term QoS guard belongs to SmartHarvest-style policies;
+	// the paper's baselines (fixed buffer, PrevPeak) run without it.
+	agentCfg.LongTermSafeguard = s.LongTermSafeguard && ctrl.Safeguards()
+	agentCfg.RecordSeries = s.RecordSeries
+	if s.QoSWaitThreshold > 0 {
+		agentCfg.QoSWaitThreshold = s.QoSWaitThreshold
+	}
+	if s.QoSViolationFrac > 0 {
+		agentCfg.QoSViolationFrac = s.QoSViolationFrac
+	}
+	if s.Mechanism == hypervisor.IPI {
+		agentCfg.PostResizeSleep = 0
+	}
+	agent, err := core.NewAgent(loop, machineHV{machine}, ctrl, agentCfg)
+	if err != nil {
+		return nil, err
+	}
+	if alloc != maxAlloc {
+		// Start at the initial allocation; the extra capacity is
+		// unallocated until arrivals claim it.
+		if err := agent.SetPrimaryAlloc(alloc); err != nil {
+			return nil, err
+		}
+	}
+	agent.Start()
+
+	// Schedule VM churn.
+	var churnErr error
+	vms := make([]*hypervisor.VM, len(servers))
+	for i, srv := range servers {
+		vms[i] = srv.VM()
+	}
+	for _, ev := range s.Churn {
+		ev := ev
+		loop.At(ev.At, func() {
+			if churnErr != nil {
+				return
+			}
+			if ev.Arrive != nil {
+				vm := machine.AddVM(fmt.Sprintf("%s-%d", ev.Arrive.Name, len(vms)),
+					hypervisor.PrimaryGroup, s.PrimaryVMCores, s.PrimaryVMCores)
+				srv, err := ev.Arrive.Build(loop, vm, rng.Split(), s.Warmup)
+				if err != nil {
+					churnErr = err
+					return
+				}
+				srv.Start()
+				servers = append(servers, srv)
+				vms = append(vms, vm)
+			}
+			if ev.Depart >= 0 {
+				if ev.Depart >= len(vms) || vms[ev.Depart] == nil {
+					churnErr = fmt.Errorf("harness: churn departure %d invalid", ev.Depart)
+					return
+				}
+				machine.RemoveVM(vms[ev.Depart])
+				vms[ev.Depart] = nil
+			}
+			live := 0
+			for _, vm := range vms {
+				if vm != nil {
+					live++
+				}
+			}
+			if err := agent.SetPrimaryAlloc(live * s.PrimaryVMCores); err != nil {
+				churnErr = err
+			}
+		})
+	}
+
+	// Optional busy-core statistics sampler (Table 1 methodology: poll
+	// every PollInterval, peak per 25 ms window).
+	var busySum float64
+	var busyN uint64
+	var peakSeries *metrics.Series
+	if s.CollectBusyStats {
+		peakSeries = &metrics.Series{Name: "busy-window-peak"}
+		winPeak := 0
+		loop.NewTicker(s.Warmup, s.PollInterval, func() {
+			b := machine.BusyCores(hypervisor.PrimaryGroup)
+			busySum += float64(b)
+			busyN++
+			if b > winPeak {
+				winPeak = b
+			}
+		})
+		loop.NewTicker(s.Warmup+25*sim.Millisecond, 25*sim.Millisecond, func() {
+			peakSeries.Add(int64(loop.Now()), float64(winPeak))
+			winPeak = 0
+		})
+	}
+
+	// Snapshot harvest accounting at warmup.
+	var elasticCoreSecAtWarmup, elasticCPUAtWarmup float64
+	loop.At(s.Warmup, func() {
+		elasticCoreSecAtWarmup = machine.CoreSeconds(hypervisor.ElasticGroup)
+		elasticCPUAtWarmup = evm.CPUTime().Seconds()
+	})
+
+	end := s.Warmup + s.Duration
+	loop.RunUntil(end)
+	if churnErr != nil {
+		return nil, churnErr
+	}
+	// For completion-time experiments, keep running until the batch job
+	// finishes (the primaries keep serving).
+	if batchJob != nil && !batchJob.Finished() {
+		for !batchJob.Finished() && loop.Now() < end+10*60*sim.Second {
+			if !loop.Step() {
+				break
+			}
+		}
+	}
+
+	res := &Result{
+		Scenario:  s.Name,
+		Policy:    ctrl.Name(),
+		Mechanism: s.Mechanism.String(),
+		Duration:  s.Duration,
+	}
+	for _, srv := range servers {
+		pr := PrimaryResult{
+			Name:      srv.Name(),
+			Latency:   srv.Latency().Summarize(),
+			Offered:   srv.Offered(),
+			Completed: srv.Completed(),
+		}
+		for i := 0; i < srv.NumPhases(); i++ {
+			pr.Phases = append(pr.Phases, srv.PhaseLatency(i).Summarize())
+		}
+		res.Primaries = append(res.Primaries, pr)
+	}
+
+	measured := (loop.Now() - s.Warmup).Seconds()
+	if measured > 0 {
+		res.AvgElasticCores = (machine.CoreSeconds(hypervisor.ElasticGroup) - elasticCoreSecAtWarmup) / measured
+		res.ElasticCPUSeconds = evm.CPUTime().Seconds() - elasticCPUAtWarmup
+	}
+	res.AvgHarvestedCores = res.AvgElasticCores - float64(s.ElasticMin)
+	if res.AvgHarvestedCores < 0 {
+		res.AvgHarvestedCores = 0
+	}
+	if batchJob != nil {
+		res.BatchFinished = batchJob.Finished()
+		res.BatchTime = batchJob.FinishedAt()
+	}
+	res.Windows = agent.Windows()
+	res.Safeguards = agent.SafeguardInvocations()
+	res.QoSTrips = agent.QoSTrips()
+	res.Resizes = machine.Resizes()
+	res.Grow = machine.GrowLatency().Summarize()
+	res.Shrink = machine.ShrinkLatency().Summarize()
+	res.GrowCDF = machine.GrowLatency().CDF()
+	res.ShrinkCDF = machine.ShrinkLatency().CDF()
+	if s.CollectBusyStats && busyN > 0 {
+		res.AvgBusyCores = busySum / float64(busyN)
+		res.AvgWindowPeak = peakSeries.Mean()
+		res.BusyWindowPeak = peakSeries
+	}
+	if s.RecordSeries {
+		res.TargetSeries = agent.TargetSeries()
+		res.PeakSeries = agent.PeakSeries()
+		res.QoSViolations = agent.QoSViolationSeries()
+	}
+	return res, nil
+}
+
+// P99 returns the P99 latency (ns) of primary i.
+func (r *Result) P99(i int) int64 { return r.Primaries[i].Latency.P99 }
+
+// RunSpeedup runs the scenario twice — once with the given policy and
+// once with NoHarvest (ElasticVM pinned to its minimum, which defaults to
+// one core) — and returns the batch job's completion-time speedup, as in
+// the paper's Figure 6.
+func RunSpeedup(s Scenario) (speedup float64, with, baseline *Result, err error) {
+	if s.Batch != BatchHDInsight && s.Batch != BatchTeraSort {
+		return 0, nil, nil, fmt.Errorf("harness: speedup needs a finite batch job")
+	}
+	with, err = Run(s)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	base := s
+	base.Name = s.Name + "-baseline"
+	base.Controller = func(alloc int) core.Controller { return core.NewNoHarvest(alloc) }
+	base.LongTermSafeguard = false
+	baseline, err = Run(base)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if !with.BatchFinished || !baseline.BatchFinished {
+		return 0, with, baseline, fmt.Errorf("harness: batch job did not finish (with=%v baseline=%v)",
+			with.BatchFinished, baseline.BatchFinished)
+	}
+	return float64(baseline.BatchTime) / float64(with.BatchTime), with, baseline, nil
+}
+
+// Controllers — convenience factories for the standard policies.
+
+// SmartHarvestFactory builds the paper's learner with options.
+func SmartHarvestFactory(opts core.SmartHarvestOptions) ControllerFactory {
+	return func(alloc int) core.Controller { return core.NewSmartHarvest(alloc, opts) }
+}
+
+// FixedBufferFactory builds the PerfIso-style baseline with buffer k.
+func FixedBufferFactory(k int) ControllerFactory {
+	return func(alloc int) core.Controller { return core.NewFixedBuffer(alloc, k) }
+}
+
+// PrevPeakFactory builds the heuristic baseline over n windows.
+func PrevPeakFactory(n int, returnOne bool) ControllerFactory {
+	return func(alloc int) core.Controller { return core.NewPrevPeak(alloc, n, returnOne) }
+}
+
+// NoHarvestFactory builds the null policy.
+func NoHarvestFactory() ControllerFactory {
+	return func(alloc int) core.Controller { return core.NewNoHarvest(alloc) }
+}
+
+// EWMAFactory builds the smoothing baseline.
+func EWMAFactory(alpha float64, margin int) ControllerFactory {
+	return func(alloc int) core.Controller { return core.NewEWMAController(alloc, alpha, margin) }
+}

@@ -1,0 +1,120 @@
+package hypervisor
+
+import (
+	"testing"
+
+	"smartharvest/internal/sim"
+	"smartharvest/internal/simrng"
+)
+
+// TestRandomOperationSoak drives the machine with random sequences of
+// submits, resizes, VM arrivals/departures and time advances across both
+// mechanisms, checking conservation invariants throughout. This is the
+// scheduler's property test: no core is ever double-booked, group counts
+// always sum to the total, per-VM running counts stay within allocation,
+// and completed work is exactly what was submitted.
+func TestRandomOperationSoak(t *testing.T) {
+	for _, mech := range []Mechanism{CpuGroups, IPI} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(mech.String(), func(t *testing.T) {
+				soak(t, mech, seed)
+			})
+		}
+	}
+}
+
+func soak(t *testing.T, mech Mechanism, seed uint64) {
+	t.Helper()
+	rng := simrng.New(seed)
+	loop := sim.NewLoop()
+	cfg := DefaultConfig(8)
+	cfg.Mechanism = mech
+	cfg.Seed = seed
+	m, err := New(loop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetInitialSplit(6)
+	evm := m.AddVM("elastic", ElasticGroup, 8, 8)
+
+	type tracked struct {
+		vm        *VM
+		submitted sim.Time
+		completed int
+	}
+	var primaries []*tracked
+	addPrimary := func() {
+		tr := &tracked{}
+		tr.vm = m.AddVM("p", PrimaryGroup, 4, 4)
+		primaries = append(primaries, tr)
+	}
+	addPrimary()
+	addPrimary()
+
+	var elasticSubmitted sim.Time
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // submit primary work
+			tr := primaries[rng.Intn(len(primaries))]
+			if tr.vm.Removed() {
+				break
+			}
+			d := sim.Time(1+rng.Intn(3000)) * sim.Microsecond
+			tr.submitted += d
+			tr.vm.Submit(d, func() { tr.completed++ })
+		case 4, 5: // submit elastic work
+			d := sim.Time(1+rng.Intn(5000)) * sim.Microsecond
+			elasticSubmitted += d
+			evm.Submit(d, nil)
+		case 6, 7: // resize
+			m.SetPrimaryCores(rng.Intn(9))
+		case 8: // churn: remove one primary, maybe add another
+			if len(primaries) > 1 && rng.Bool(0.3) {
+				idx := rng.Intn(len(primaries))
+				if !primaries[idx].vm.Removed() {
+					m.RemoveVM(primaries[idx].vm)
+				}
+			}
+			if rng.Bool(0.3) && len(primaries) < 6 {
+				addPrimary()
+			}
+		case 9: // let time pass
+			loop.RunUntil(loop.Now() + sim.Time(rng.Intn(20))*sim.Millisecond)
+		}
+		if step%100 == 0 {
+			m.checkInvariants(t)
+			if t.Failed() {
+				t.Fatalf("invariants failed at step %d (mech %v seed %d)", step, mech, seed)
+			}
+		}
+	}
+	// Drain everything under a split that gives both groups capacity (a
+	// random final split may have starved one group entirely).
+	m.SetPrimaryCores(4)
+	loop.RunUntil(loop.Now() + 30*sim.Second)
+	m.checkInvariants(t)
+
+	// Work accounting: live primaries completed everything they were
+	// given; the elastic VM executed exactly what it was given (it was
+	// never removed, so all its work must eventually finish).
+	for i, tr := range primaries {
+		if tr.vm.Removed() {
+			if tr.vm.CPUTime() > tr.submitted {
+				t.Fatalf("primary %d executed more than submitted", i)
+			}
+			continue
+		}
+		if tr.vm.CPUTime() != tr.submitted {
+			t.Fatalf("primary %d executed %v of %v submitted", i, tr.vm.CPUTime(), tr.submitted)
+		}
+	}
+	if evm.CPUTime() != elasticSubmitted {
+		t.Fatalf("elastic executed %v of %v submitted", evm.CPUTime(), elasticSubmitted)
+	}
+	// Wait samples must all be non-negative.
+	for _, w := range m.DrainPrimaryWaits() {
+		if w < 0 {
+			t.Fatalf("negative wait %d", w)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package learner
+
+import "math"
+
+// AdaptiveCSOAA is CSOAA with per-weight adaptive learning rates
+// (AdaGrad), mirroring Vowpal Wabbit's default --adaptive behaviour: each
+// weight's step size shrinks with the accumulated squared gradient on
+// that coordinate, so frequently-active features converge fast without a
+// hand-tuned global rate, while rare features keep learning.
+//
+// SmartHarvest's paper uses VW with a constant rate so the model keeps
+// adapting forever; AdaptiveCSOAA exists for the predictor ablation: it
+// converges faster early but responds slower to behaviour changes late in
+// a long run — exactly the trade-off the constant rate avoids.
+type AdaptiveCSOAA struct {
+	classes int
+	nfeat   int
+	eta     float64
+	weights [][]float64
+	gradSq  [][]float64
+	updates uint64
+}
+
+// NewAdaptiveCSOAA builds the adaptive variant with base step eta.
+func NewAdaptiveCSOAA(classes, nfeat int, eta float64) *AdaptiveCSOAA {
+	if classes < 2 {
+		panic("learner: need >= 2 classes")
+	}
+	if nfeat < 1 {
+		panic("learner: need at least one feature")
+	}
+	if eta <= 0 {
+		panic("learner: non-positive eta")
+	}
+	a := &AdaptiveCSOAA{classes: classes, nfeat: nfeat, eta: eta}
+	a.weights = make([][]float64, classes)
+	a.gradSq = make([][]float64, classes)
+	for i := range a.weights {
+		a.weights[i] = make([]float64, nfeat+1)
+		a.gradSq[i] = make([]float64, nfeat+1)
+	}
+	return a
+}
+
+// Classes returns the number of classes.
+func (a *AdaptiveCSOAA) Classes() int { return a.classes }
+
+// Updates returns the number of training updates applied.
+func (a *AdaptiveCSOAA) Updates() uint64 { return a.updates }
+
+// InitBias seeds the per-class bias terms before training (see
+// CSOAA.InitBias).
+func (a *AdaptiveCSOAA) InitBias(costs []float64) {
+	if len(costs) != a.classes {
+		panic("learner: cost vector length mismatch")
+	}
+	if a.updates != 0 {
+		panic("learner: InitBias after training")
+	}
+	for cl, v := range costs {
+		a.weights[cl][0] = v
+	}
+}
+
+func (a *AdaptiveCSOAA) score(cl int, x []float64) float64 {
+	w := a.weights[cl]
+	s := w[0]
+	for i, v := range x {
+		s += w[i+1] * v
+	}
+	return s
+}
+
+// Predict returns the argmin-cost class (ties break high, as in CSOAA).
+func (a *AdaptiveCSOAA) Predict(x []float64) int {
+	if len(x) != a.nfeat {
+		panic("learner: feature vector length mismatch")
+	}
+	best := a.classes - 1
+	bestScore := a.score(best, x)
+	for cl := a.classes - 2; cl >= 0; cl-- {
+		if s := a.score(cl, x); s < bestScore {
+			best, bestScore = cl, s
+		}
+	}
+	return best
+}
+
+// Update applies one AdaGrad step per class toward the observed costs.
+func (a *AdaptiveCSOAA) Update(x []float64, costs []float64) {
+	if len(x) != a.nfeat {
+		panic("learner: feature vector length mismatch")
+	}
+	if len(costs) != a.classes {
+		panic("learner: cost vector length mismatch")
+	}
+	for cl, target := range costs {
+		w := a.weights[cl]
+		g := a.gradSq[cl]
+		err := target - a.score(cl, x)
+		// Gradient of squared loss wrt weight i is -err * x_i.
+		gb := -err
+		g[0] += gb * gb
+		w[0] += a.eta * err / math.Sqrt(g[0]+1e-8)
+		for i, v := range x {
+			gi := -err * v
+			g[i+1] += gi * gi
+			if gi != 0 {
+				w[i+1] += a.eta * err * v / math.Sqrt(g[i+1]+1e-8)
+			}
+		}
+	}
+	a.updates++
+}
+
+// MaskedExtractor wraps feature computation with a subset mask, zeroing
+// disabled features. It backs the feature-set ablation: the paper selected
+// its five features offline; the ablation measures what each contributes.
+type MaskedExtractor struct {
+	fe   *FeatureExtractor
+	mask [NumFeatures]bool
+}
+
+// FeatureName labels each feature index.
+var FeatureName = [NumFeatures]string{"min", "max", "avg", "std", "median"}
+
+// NewMaskedExtractor keeps only the named features ("min", "max", "avg",
+// "std", "median"); unknown names panic.
+func NewMaskedExtractor(maxValue int, keep ...string) *MaskedExtractor {
+	m := &MaskedExtractor{fe: NewFeatureExtractor(maxValue)}
+	if len(keep) == 0 {
+		panic("learner: empty feature mask")
+	}
+	for _, name := range keep {
+		found := false
+		for i, n := range FeatureName {
+			if n == name {
+				m.mask[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic("learner: unknown feature " + name)
+		}
+	}
+	return m
+}
+
+// Compute fills dst (length NumFeatures) with the masked, normalized
+// feature vector.
+func (m *MaskedExtractor) Compute(dst []float64, samples []int, scale float64) []float64 {
+	f := m.fe.Compute(samples)
+	f.Vector(dst, scale)
+	for i := range dst {
+		if !m.mask[i] {
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+// Kept returns the enabled feature names, in index order.
+func (m *MaskedExtractor) Kept() []string {
+	var out []string
+	for i, on := range m.mask {
+		if on {
+			out = append(out, FeatureName[i])
+		}
+	}
+	return out
+}
+
+var _ Model = (*AdaptiveCSOAA)(nil)

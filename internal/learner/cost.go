@@ -1,0 +1,83 @@
+package learner
+
+// CostFunc assigns a training cost to predicting class `class` when the
+// observed peak was `correct`. Lower is better; the learner minimizes
+// predicted cost. Underpredictions (class < correct) starve the primary
+// VMs and trigger the safeguard, so useful cost functions penalize them
+// far more than overpredictions.
+type CostFunc interface {
+	Cost(class, correct int) float64
+	Name() string
+}
+
+// SkewedCost is the paper's default (Figure 3): cost grows linearly with
+// the distance from the correct class, plus a constant extra penalty for
+// underpredictions (the paper uses the primary VMs' initial core
+// allocation as that constant).
+type SkewedCost struct {
+	// UnderPenalty is the constant added to every underprediction.
+	UnderPenalty float64
+}
+
+// Cost implements CostFunc.
+func (s SkewedCost) Cost(class, correct int) float64 {
+	d := class - correct
+	if d >= 0 {
+		return float64(d)
+	}
+	return float64(-d) + s.UnderPenalty
+}
+
+// Name implements CostFunc.
+func (SkewedCost) Name() string { return "skewed" }
+
+// SymmetricCost (Figure 12a) treats under- and overpredictions alike:
+// cost = |class - correct|. The paper shows it underpredicts more and
+// hurts the primary VM.
+type SymmetricCost struct{}
+
+// Cost implements CostFunc.
+func (SymmetricCost) Cost(class, correct int) float64 {
+	d := class - correct
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}
+
+// Name implements CostFunc.
+func (SymmetricCost) Name() string { return "symmetric" }
+
+// HingedCost (Figure 12b) gives all overpredictions the same small cost,
+// so the learner happily overpredicts by a lot and harvesting suffers.
+type HingedCost struct {
+	// UnderPenalty is the constant added to every underprediction.
+	UnderPenalty float64
+	// OverCost is the flat cost of any overprediction.
+	OverCost float64
+}
+
+// Cost implements CostFunc.
+func (h HingedCost) Cost(class, correct int) float64 {
+	d := class - correct
+	switch {
+	case d == 0:
+		return 0
+	case d > 0:
+		return h.OverCost
+	default:
+		return float64(-d) + h.UnderPenalty
+	}
+}
+
+// Name implements CostFunc.
+func (HingedCost) Name() string { return "hinged" }
+
+// FillCosts writes Cost(c, correct) for every class c into dst and
+// returns it; dst length defines the class count.
+func FillCosts(dst []float64, cf CostFunc, correct int) []float64 {
+	for c := range dst {
+		dst[c] = cf.Cost(c, correct)
+	}
+	return dst
+}

@@ -1,0 +1,194 @@
+package learner
+
+import "fmt"
+
+// CSOAA is a cost-sensitive one-against-all multi-class classifier, the
+// same reduction the paper uses from Vowpal Wabbit: one linear regressor
+// per class predicts that class's cost from the feature vector, and
+// prediction selects the class with the lowest predicted cost. Training
+// regresses each class's output toward its observed cost with plain SGD
+// on squared loss.
+//
+// Classes are core counts 0..NumClasses-1 for the primary VMs' predicted
+// peak. Prediction and update are O(classes × features) with no
+// allocation, giving the microsecond-scale learning operations of the
+// paper's Table 3.
+type CSOAA struct {
+	classes int
+	nfeat   int
+	lr      float64
+	// weights[c] holds class c's regressor: bias followed by one weight
+	// per feature.
+	weights [][]float64
+	updates uint64
+}
+
+// NewCSOAA builds a classifier over `classes` classes and feature vectors
+// of length nfeat, with SGD learning rate lr (the paper uses VW's default
+// 0.1, kept constant so learning continues forever).
+func NewCSOAA(classes, nfeat int, lr float64) *CSOAA {
+	if classes < 2 {
+		panic(fmt.Sprintf("learner: need >= 2 classes, got %d", classes))
+	}
+	if nfeat < 1 {
+		panic("learner: need at least one feature")
+	}
+	if lr <= 0 || lr > 1 {
+		panic(fmt.Sprintf("learner: learning rate %v out of (0,1]", lr))
+	}
+	c := &CSOAA{classes: classes, nfeat: nfeat, lr: lr}
+	c.weights = make([][]float64, classes)
+	for i := range c.weights {
+		c.weights[i] = make([]float64, nfeat+1)
+	}
+	return c
+}
+
+// Classes returns the number of classes.
+func (c *CSOAA) Classes() int { return c.classes }
+
+// InitBias seeds each class regressor's bias term with a prior cost,
+// before any training. Seeding with the cost of "the peak is the maximum
+// class" makes an untrained model maximally conservative: it predicts the
+// full allocation on day one and learns downward from real feedback,
+// instead of emitting arbitrary early predictions that starve the
+// primaries during the cold start.
+func (c *CSOAA) InitBias(costs []float64) {
+	if len(costs) != c.classes {
+		panic("learner: cost vector length mismatch")
+	}
+	if c.updates != 0 {
+		panic("learner: InitBias after training")
+	}
+	for cl, v := range costs {
+		c.weights[cl][0] = v
+	}
+}
+
+// Updates returns how many training updates have been applied.
+func (c *CSOAA) Updates() uint64 { return c.updates }
+
+// score returns class cl's predicted cost for feature vector x.
+func (c *CSOAA) score(cl int, x []float64) float64 {
+	w := c.weights[cl]
+	s := w[0]
+	for i, v := range x {
+		s += w[i+1] * v
+	}
+	return s
+}
+
+// Predict returns the class with the lowest predicted cost. Ties break
+// toward the higher class: with an untrained (all-zero) model every class
+// ties, and starting from the largest core count is the conservative,
+// primary-protecting choice.
+func (c *CSOAA) Predict(x []float64) int {
+	if len(x) != c.nfeat {
+		panic("learner: feature vector length mismatch")
+	}
+	best := c.classes - 1
+	bestScore := c.score(best, x)
+	for cl := c.classes - 2; cl >= 0; cl-- {
+		if s := c.score(cl, x); s < bestScore {
+			best, bestScore = cl, s
+		}
+	}
+	return best
+}
+
+// PredictedCosts writes each class's predicted cost into dst (length
+// Classes()) and returns it; useful for diagnostics and tests.
+func (c *CSOAA) PredictedCosts(dst []float64, x []float64) []float64 {
+	if len(dst) != c.classes {
+		panic("learner: bad costs length")
+	}
+	for cl := range dst {
+		dst[cl] = c.score(cl, x)
+	}
+	return dst
+}
+
+// Update trains every per-class regressor toward its observed cost for
+// feature vector x. costs must have length Classes().
+func (c *CSOAA) Update(x []float64, costs []float64) {
+	if len(x) != c.nfeat {
+		panic("learner: feature vector length mismatch")
+	}
+	if len(costs) != c.classes {
+		panic("learner: cost vector length mismatch")
+	}
+	for cl, target := range costs {
+		w := c.weights[cl]
+		err := target - c.score(cl, x)
+		g := c.lr * err
+		w[0] += g
+		for i, v := range x {
+			w[i+1] += g * v
+		}
+	}
+	c.updates++
+}
+
+// EWMA is the simple exponentially-weighted-moving-average peak predictor
+// the paper's motivation section dismisses: it tracks the recent peak
+// level but cannot anticipate sharp bursts. Kept as a baseline for the
+// predictor ablation.
+type EWMA struct {
+	alpha  float64
+	margin int
+	level  float64
+	seen   bool
+	max    int
+}
+
+// NewEWMA builds an EWMA predictor with smoothing alpha in (0, 1], a
+// fixed safety margin in cores, and a class cap (max core count).
+func NewEWMA(alpha float64, margin, max int) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("learner: alpha out of (0,1]")
+	}
+	if max < 1 || margin < 0 {
+		panic("learner: bad EWMA bounds")
+	}
+	return &EWMA{alpha: alpha, margin: margin, max: max}
+}
+
+// Observe feeds the window's actual peak.
+func (e *EWMA) Observe(peak int) {
+	if !e.seen {
+		e.level = float64(peak)
+		e.seen = true
+		return
+	}
+	e.level = e.alpha*float64(peak) + (1-e.alpha)*e.level
+}
+
+// Predict returns the predicted peak for the next window.
+func (e *EWMA) Predict() int {
+	if !e.seen {
+		return e.max // conservative before any observation
+	}
+	p := int(e.level+0.999999) + e.margin // ceil + margin
+	if p > e.max {
+		p = e.max
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Model is the classifier contract SmartHarvest's controller drives; both
+// CSOAA (constant rate, the paper's choice) and AdaptiveCSOAA (AdaGrad)
+// satisfy it.
+type Model interface {
+	Classes() int
+	Updates() uint64
+	InitBias(costs []float64)
+	Predict(x []float64) int
+	Update(x, costs []float64)
+}
+
+var (
+	_ Model = (*CSOAA)(nil)
+)

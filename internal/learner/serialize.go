@@ -1,0 +1,63 @@
+package learner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelState is the serialized form of a CSOAA model. A long-running host
+// agent (cmd/hostagent) can persist its learned weights across restarts so
+// a redeploy does not reset harvesting to the conservative prior.
+type modelState struct {
+	Version int         `json:"version"`
+	Classes int         `json:"classes"`
+	NFeat   int         `json:"nfeat"`
+	LR      float64     `json:"lr"`
+	Updates uint64      `json:"updates"`
+	Weights [][]float64 `json:"weights"`
+}
+
+const modelVersion = 1
+
+// Save writes the model's weights as JSON.
+func (c *CSOAA) Save(w io.Writer) error {
+	st := modelState{
+		Version: modelVersion,
+		Classes: c.classes,
+		NFeat:   c.nfeat,
+		LR:      c.lr,
+		Updates: c.updates,
+		Weights: c.weights,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&st)
+}
+
+// LoadCSOAA restores a model saved with Save. The restored model resumes
+// training from the persisted weights and update count.
+func LoadCSOAA(r io.Reader) (*CSOAA, error) {
+	var st modelState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("learner: decoding model: %w", err)
+	}
+	if st.Version != modelVersion {
+		return nil, fmt.Errorf("learner: unsupported model version %d", st.Version)
+	}
+	if st.Classes < 2 || st.NFeat < 1 || st.LR <= 0 || st.LR > 1 {
+		return nil, fmt.Errorf("learner: corrupt model header (classes=%d nfeat=%d lr=%v)",
+			st.Classes, st.NFeat, st.LR)
+	}
+	if len(st.Weights) != st.Classes {
+		return nil, fmt.Errorf("learner: weight rows %d != classes %d", len(st.Weights), st.Classes)
+	}
+	for i, row := range st.Weights {
+		if len(row) != st.NFeat+1 {
+			return nil, fmt.Errorf("learner: class %d has %d weights, want %d", i, len(row), st.NFeat+1)
+		}
+	}
+	c := NewCSOAA(st.Classes, st.NFeat, st.LR)
+	c.weights = st.Weights
+	c.updates = st.Updates
+	return c, nil
+}

@@ -1,0 +1,75 @@
+package learner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := NewCSOAA(11, NumFeatures, 0.1)
+	cf := SkewedCost{UnderPenalty: 10}
+	costs := make([]float64, 11)
+	x := []float64{0.1, 0.6, 0.3, 0.1, 0.3}
+	for i := 0; i < 500; i++ {
+		c.Update(x, FillCosts(costs, cf, 6))
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadCSOAA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Updates() != c.Updates() || restored.Classes() != c.Classes() {
+		t.Fatalf("metadata mismatch: %d/%d vs %d/%d",
+			restored.Updates(), restored.Classes(), c.Updates(), c.Classes())
+	}
+	// Identical predictions on a grid of inputs.
+	probe := make([]float64, NumFeatures)
+	for i := 0; i <= 20; i++ {
+		v := float64(i) / 20
+		probe[0], probe[1], probe[2], probe[3], probe[4] = v/4, v, v/2, v/8, v/2
+		if restored.Predict(probe) != c.Predict(probe) {
+			t.Fatalf("prediction diverged at %v", v)
+		}
+	}
+	// The restored model keeps training.
+	restored.Update(x, FillCosts(costs, cf, 3))
+	if restored.Updates() != c.Updates()+1 {
+		t.Fatal("restored model did not resume training")
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad-version": `{"version":99,"classes":3,"nfeat":5,"lr":0.1,"weights":[[0],[0],[0]]}`,
+		"bad-header":  `{"version":1,"classes":1,"nfeat":5,"lr":0.1,"weights":[[0]]}`,
+		"bad-lr":      `{"version":1,"classes":3,"nfeat":5,"lr":7,"weights":[[0],[0],[0]]}`,
+		"row-count":   `{"version":1,"classes":3,"nfeat":5,"lr":0.1,"weights":[[0,0,0,0,0,0]]}`,
+		"row-width":   `{"version":1,"classes":2,"nfeat":5,"lr":0.1,"weights":[[0],[0]]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadCSOAA(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadFreshModel(t *testing.T) {
+	c := NewCSOAA(3, 2, 0.5)
+	c.InitBias([]float64{2, 1, 0})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadCSOAA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Predict([]float64{0, 0}) != 2 {
+		t.Fatal("bias not preserved")
+	}
+}

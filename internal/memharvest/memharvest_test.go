@@ -1,0 +1,114 @@
+package memharvest
+
+import (
+	"testing"
+
+	"smartharvest/internal/sim"
+)
+
+func run(t *testing.T, p Policy, seed uint64) *Result {
+	t.Helper()
+	res, err := Run(Config{Seed: seed}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLearnedHarvestsMemory(t *testing.T) {
+	res := run(t, NewLearned(64), 3)
+	// Demand averages ~24 GB of 64 plus a safety margin; a meaningful
+	// chunk must be harvested.
+	if res.AvgHarvestedGB < 10 {
+		t.Fatalf("harvested %v GB", res.AvgHarvestedGB)
+	}
+	if res.AvgHarvestedGB > 50 {
+		t.Fatalf("harvested %v GB; implausibly aggressive", res.AvgHarvestedGB)
+	}
+}
+
+func TestLearnedBeatsNaiveHeadroomOnFrontier(t *testing.T) {
+	learned := run(t, NewLearned(64), 3)
+	// A small fixed headroom harvests more but faults much more; a big
+	// one faults less but harvests much less. The learner should not be
+	// dominated by either (same or better on one axis when matched on
+	// the other).
+	small := run(t, NewFixedHeadroom(64, 2), 3)
+	big := run(t, NewFixedHeadroom(64, 24), 3)
+	if small.FaultSeconds <= learned.FaultSeconds && small.AvgHarvestedGB >= learned.AvgHarvestedGB {
+		t.Fatalf("learned dominated by fixed-2: learned=%+v fixed=%+v", learned, small)
+	}
+	if big.FaultSeconds <= learned.FaultSeconds && big.AvgHarvestedGB >= learned.AvgHarvestedGB {
+		t.Fatalf("learned dominated by fixed-24: learned=%+v fixed=%+v", learned, big)
+	}
+}
+
+func TestFixedHeadroomTradeoff(t *testing.T) {
+	small := run(t, NewFixedHeadroom(64, 2), 5)
+	big := run(t, NewFixedHeadroom(64, 20), 5)
+	if small.AvgHarvestedGB <= big.AvgHarvestedGB {
+		t.Fatalf("small headroom harvested %v <= big %v", small.AvgHarvestedGB, big.AvgHarvestedGB)
+	}
+	if small.FaultSeconds < big.FaultSeconds {
+		t.Fatalf("small headroom faulted less (%v) than big (%v)", small.FaultSeconds, big.FaultSeconds)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, NewLearned(64), 11)
+	b := run(t, NewLearned(64), 11)
+	if a.AvgHarvestedGB != b.AvgHarvestedGB || a.FaultSeconds != b.FaultSeconds ||
+		a.Reclaims != b.Reclaims {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{TotalGB: 2},
+		{TotalGB: 64, DemandMin: 50, DemandMax: 40},
+		{TotalGB: 64, DemandMin: 10, DemandMax: 100},
+		{TotalGB: 64, SamplesPerWindow: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, NewLearned(64)); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewLearned(64).Name() != "smartharvest-mem" {
+		t.Error("learned name")
+	}
+	if NewFixedHeadroom(64, 8).Name() != "fixed-8GB" {
+		t.Error("fixed name")
+	}
+}
+
+func TestFixedHeadroomValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewFixedHeadroom(8, 10)
+}
+
+func TestReclaimLatencyMatters(t *testing.T) {
+	// With instant reclaim, faults should drop sharply versus slow
+	// reclaim under the same policy and demand.
+	slowCfg := Config{Seed: 9, ReclaimPerGB: 500 * sim.Millisecond}
+	fastCfg := Config{Seed: 9, ReclaimPerGB: sim.Millisecond}
+	slow, err := Run(slowCfg, NewFixedHeadroom(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(fastCfg, NewFixedHeadroom(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.FaultSeconds >= slow.FaultSeconds {
+		t.Fatalf("fast reclaim faulted %v >= slow %v", fast.FaultSeconds, slow.FaultSeconds)
+	}
+}

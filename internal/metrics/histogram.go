@@ -1,0 +1,309 @@
+// Package metrics provides the measurement machinery used by the simulator
+// and the experiment harness: an HDR-style latency histogram with bounded
+// relative error, summary statistics, windowed tail-latency tracking, and
+// time-series recording.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Histogram records int64 values (typically latencies in nanoseconds) into
+// log-linear buckets, HDR-histogram style: values are grouped by their
+// highest set bit into exponential tiers, and each tier is split into
+// 2^subBits linear sub-buckets, bounding the relative quantile error at
+// 2^-subBits (≈0.8% with the default 7 sub-bits).
+//
+// The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	subBits uint
+	counts  []uint64
+	total   uint64
+	sum     float64
+	sumSq   float64
+	min     int64
+	max     int64
+}
+
+const defaultSubBits = 7
+
+// NewHistogram returns an empty histogram with ~0.8% relative error.
+func NewHistogram() *Histogram { return NewHistogramPrecision(defaultSubBits) }
+
+// NewHistogramPrecision returns an empty histogram with 2^-subBits relative
+// error. subBits must be in [1, 16].
+func NewHistogramPrecision(subBits uint) *Histogram {
+	if subBits < 1 || subBits > 16 {
+		panic(fmt.Sprintf("metrics: subBits %d out of range [1,16]", subBits))
+	}
+	// 64 tiers (one per possible highest bit) each with 2^subBits buckets
+	// covers the whole non-negative int64 range.
+	return &Histogram{
+		subBits: subBits,
+		counts:  make([]uint64, 64<<subBits),
+		min:     math.MaxInt64,
+		max:     math.MinInt64,
+	}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func (h *Histogram) bucketIndex(v int64) int {
+	u := uint64(v)
+	// Values below 2^subBits land in tier 0 linearly.
+	if u < 1<<h.subBits {
+		return int(u)
+	}
+	tier := uint(bits.Len64(u)) - 1 - h.subBits // >= 1
+	sub := (u >> tier) & ((1 << h.subBits) - 1)
+	return int((uint64(tier+1) << h.subBits) + sub)
+}
+
+// bucketLow returns the lowest value that maps to bucket i.
+func (h *Histogram) bucketLow(i int) int64 {
+	tier := uint(i) >> h.subBits
+	sub := uint64(i) & ((1 << h.subBits) - 1)
+	if tier == 0 {
+		return int64(sub)
+	}
+	shift := tier - 1
+	return int64(((1 << h.subBits) + sub) << shift)
+}
+
+// bucketHigh returns the highest value that maps to bucket i.
+func (h *Histogram) bucketHigh(i int) int64 {
+	tier := uint(i) >> h.subBits
+	if tier == 0 {
+		return h.bucketLow(i)
+	}
+	return h.bucketLow(i) + (1 << (tier - 1)) - 1
+}
+
+// Record adds a value. Negative values are clamped to zero: latencies are
+// never negative, and a clamp keeps accounting robust in the face of
+// rounding at callers.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.bucketIndex(v)]++
+	h.total++
+	f := float64(v)
+	h.sum += f
+	h.sumSq += f * f
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Stddev returns the population standard deviation, or 0 when empty.
+func (h *Histogram) Stddev() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumSq/float64(h.total) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) with
+// relative error bounded by the histogram precision. Empty histograms
+// return 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	// Rank of the desired observation, 1-based, nearest-rank definition.
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			// Midpoint of the bucket, clamped to observed extremes so
+			// estimates never exceed the true min/max.
+			mid := (h.bucketLow(i) + h.bucketHigh(i)) / 2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.Max()
+}
+
+// P50, P95, P99 and P999 are conveniences for the common quantiles.
+func (h *Histogram) P50() int64  { return h.Quantile(0.50) }
+func (h *Histogram) P95() int64  { return h.Quantile(0.95) }
+func (h *Histogram) P99() int64  { return h.Quantile(0.99) }
+func (h *Histogram) P999() int64 { return h.Quantile(0.999) }
+
+// CountAbove returns how many recorded values are (approximately) greater
+// than threshold. Values sharing the threshold's bucket are counted as
+// above only if the bucket's low bound exceeds the threshold, giving a
+// conservative (under-)estimate consistent with bucket precision.
+func (h *Histogram) CountAbove(threshold int64) uint64 {
+	if threshold < 0 {
+		return h.total
+	}
+	var n uint64
+	start := h.bucketIndex(threshold) + 1
+	for i := start; i < len(h.counts); i++ {
+		n += h.counts[i]
+	}
+	return n
+}
+
+// Reset clears the histogram for reuse without reallocating.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.sumSq = 0
+	h.min = math.MaxInt64
+	h.max = math.MinInt64
+}
+
+// Merge adds other's recorded values into h. The histograms must have the
+// same precision.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.subBits != other.subBits {
+		panic("metrics: merging histograms of different precision")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    int64   // upper bound of the bucket
+	Fraction float64 // fraction of observations <= Value
+}
+
+// CDF returns the empirical cumulative distribution over the non-empty
+// buckets, suitable for plotting (e.g. Figure 14 of the paper).
+func (h *Histogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		v := h.bucketHigh(i)
+		if v > h.max {
+			v = h.max
+		}
+		out = append(out, CDFPoint{Value: v, Fraction: float64(cum) / float64(h.total)})
+	}
+	return out
+}
+
+// Summary is a point-in-time digest of a histogram.
+type Summary struct {
+	Count              uint64
+	Mean, Stddev       float64
+	Min, P50, P95, P99 int64
+	P999, Max          int64
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.total, Mean: h.Mean(), Stddev: h.Stddev(),
+		Min: h.Min(), P50: h.P50(), P95: h.P95(), P99: h.P99(),
+		P999: h.P999(), Max: h.Max(),
+	}
+}
+
+// ExactQuantile computes the nearest-rank q-quantile of a raw sample slice.
+// It is used by tests to validate Histogram and by small-sample paths (the
+// long-term safeguard's 500 ms windows) where exactness is cheap.
+func ExactQuantile(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}

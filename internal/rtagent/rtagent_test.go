@@ -1,0 +1,226 @@
+package rtagent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"smartharvest/internal/core"
+	"smartharvest/internal/sim"
+)
+
+// fakeClock advances instantly on Sleep and can stop the loop after a
+// time budget by cancelling a context.
+type fakeClock struct {
+	now    time.Time
+	limit  time.Time
+	cancel context.CancelFunc
+}
+
+func newFakeClock(budget time.Duration, cancel context.CancelFunc) *fakeClock {
+	start := time.Unix(0, 0)
+	return &fakeClock{now: start, limit: start.Add(budget), cancel: cancel}
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.now = c.now.Add(d)
+	if !c.now.Before(c.limit) && c.cancel != nil {
+		c.cancel()
+	}
+}
+
+// fakeHost scripts the backend.
+type fakeHost struct {
+	clock     *fakeClock
+	total     int
+	busyFn    func(t time.Duration) int
+	primary   int
+	waits     []int64
+	resizeLog []int
+}
+
+func (f *fakeHost) TotalCores() int { return f.total }
+func (f *fakeHost) BusyPrimaryCores() int {
+	b := f.busyFn(f.clock.now.Sub(time.Unix(0, 0)))
+	if b > f.primary {
+		b = f.primary
+	}
+	return b
+}
+func (f *fakeHost) SetPrimaryCores(n int) bool {
+	if n == f.primary {
+		return false
+	}
+	f.primary = n
+	f.resizeLog = append(f.resizeLog, n)
+	return true
+}
+func (f *fakeHost) ResizeLatency() sim.Time { return 200 * sim.Microsecond }
+func (f *fakeHost) DrainPrimaryWaits() []int64 {
+	w := f.waits
+	f.waits = nil
+	return w
+}
+
+func runFor(t *testing.T, budget time.Duration, busy func(time.Duration) int,
+	mut func(*Config), feed func(*fakeHost)) (*Agent, *fakeHost) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	clk := newFakeClock(budget, cancel)
+	hv := &fakeHost{clock: clk, total: 11, busyFn: busy, primary: 11}
+	cfg := Config{PrimaryAlloc: 10, ElasticMin: 1, Clock: clk}
+	if mut != nil {
+		mut(&cfg)
+	}
+	ctrl := core.NewSmartHarvest(10, core.SmartHarvestOptions{})
+	a, err := New(hv, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feed != nil {
+		feed(hv)
+	}
+	if err := a.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return a, hv
+}
+
+func TestLearnsAndHarvests(t *testing.T) {
+	a, hv := runFor(t, 10*time.Second, func(time.Duration) int { return 2 }, nil, nil)
+	st := a.Stats()
+	if st.Windows < 300 {
+		t.Fatalf("windows %d over 10s of 25ms windows", st.Windows)
+	}
+	if hv.primary > 5 {
+		t.Fatalf("primary %d; steady busy=2 should harvest most cores", hv.primary)
+	}
+	if st.Resizes == 0 {
+		t.Fatal("never resized")
+	}
+}
+
+func TestSafeguardOnSpike(t *testing.T) {
+	a, hv := runFor(t, 6*time.Second, func(el time.Duration) int {
+		if el > 4*time.Second {
+			return 10
+		}
+		return 1
+	}, nil, nil)
+	st := a.Stats()
+	if st.Safeguards == 0 {
+		t.Fatal("safeguard never fired on the spike")
+	}
+	if hv.primary < 8 {
+		t.Fatalf("primary %d at end of sustained spike", hv.primary)
+	}
+}
+
+func TestTargetRespectsBusyFloor(t *testing.T) {
+	_, hv := runFor(t, 5*time.Second, func(time.Duration) int { return 6 }, nil, nil)
+	for _, r := range hv.resizeLog {
+		if r < 7 {
+			t.Fatalf("resize to %d below busy+1", r)
+		}
+	}
+}
+
+func TestQoSTripPausesHarvesting(t *testing.T) {
+	var hvRef *fakeHost
+	a, hv := runFor(t, 3*time.Second, func(time.Duration) int {
+		// Keep feeding bad waits so every QoS window violates.
+		if hvRef != nil && len(hvRef.waits) < 100 {
+			for i := 0; i < 100; i++ {
+				w := int64(time.Microsecond)
+				if i < 10 {
+					w = int64(time.Millisecond)
+				}
+				hvRef.waits = append(hvRef.waits, w)
+			}
+		}
+		return 2
+	}, func(c *Config) {
+		c.LongTermSafeguard = true
+		c.HarvestPause = 30 * time.Second
+	}, func(h *fakeHost) { hvRef = h })
+	st := a.Stats()
+	if st.QoSTrips == 0 {
+		t.Fatal("QoS guard never tripped")
+	}
+	if hv.primary != 10 {
+		t.Fatalf("primary %d during pause, want full allocation", hv.primary)
+	}
+}
+
+func TestFixedBufferReactiveOnHost(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	clk := newFakeClock(2*time.Second, cancel)
+	hv := &fakeHost{clock: clk, total: 11, busyFn: func(time.Duration) int { return 3 }, primary: 11}
+	a, err := New(hv, core.NewFixedBuffer(10, 2), Config{
+		PrimaryAlloc: 10, ElasticMin: 1, Clock: clk, PostResizeSleep: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if hv.primary != 5 {
+		t.Fatalf("primary %d, want busy+k = 5", hv.primary)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	hv := &fakeHost{total: 11, primary: 11}
+	bad := []Config{
+		{PrimaryAlloc: 0},
+		{PrimaryAlloc: 12},
+		{PrimaryAlloc: 10, ElasticMin: 5},
+		{PrimaryAlloc: 10, Window: time.Microsecond, PollInterval: time.Millisecond},
+		{PrimaryAlloc: 10, QoSViolationFrac: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := New(hv, core.NewNoHarvest(10), cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	a, _ := runFor(t, time.Second, func(time.Duration) int { return 1 }, nil, nil)
+	st := a.Stats()
+	if st.Target < 1 || st.Target > 10 {
+		t.Fatalf("target %d", st.Target)
+	}
+}
+
+func TestStatsConcurrentWithRun(t *testing.T) {
+	// Stats must be safe to read from another goroutine while Run is
+	// active (run with -race to verify).
+	ctx, cancel := context.WithCancel(context.Background())
+	clk := newFakeClock(2*time.Second, cancel)
+	hv := &fakeHost{clock: clk, total: 11, busyFn: func(time.Duration) int { return 2 }, primary: 11}
+	a, err := New(hv, core.NewSmartHarvest(10, core.SmartHarvestOptions{}), Config{
+		PrimaryAlloc: 10, ElasticMin: 1, Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = a.Run(ctx)
+	}()
+	for {
+		select {
+		case <-done:
+			if a.Stats().Windows == 0 {
+				t.Error("no windows recorded")
+			}
+			return
+		default:
+			_ = a.Stats()
+		}
+	}
+}

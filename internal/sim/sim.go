@@ -1,0 +1,226 @@
+// Package sim implements the discrete-event simulation engine that every
+// other component of the repository runs on: a virtual nanosecond clock and
+// a priority queue of scheduled events with deterministic ordering.
+//
+// Nothing in the simulator sleeps or reads the wall clock; experiments are
+// pure functions of their configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations in virtual-time nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a time.Duration into virtual-time units.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// ToDuration converts a virtual Time (interpreted as a span) into a
+// time.Duration.
+func (t Time) ToDuration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns the time as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Loop.At and Loop.After.
+type Event struct {
+	when Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	fn   func()
+	idx  int // heap index; -1 once removed
+}
+
+// When returns the virtual time at which the event fires (or fired).
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether the event has been removed from the queue,
+// either by firing or by Cancel.
+func (e *Event) Canceled() bool { return e.idx < 0 }
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Loop is the event loop. It is single-threaded: all callbacks run on the
+// goroutine that calls Run/Step, in deterministic order.
+type Loop struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+}
+
+// NewLoop returns an empty loop with the clock at zero.
+func NewLoop() *Loop { return &Loop{} }
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// Len returns the number of pending events.
+func (l *Loop) Len() int { return len(l.queue) }
+
+// Fired returns the total number of events executed so far; useful in
+// tests and as a progress measure.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it always indicates a simulator bug, and silently clamping would hide it.
+func (l *Loop) At(t Time, fn func()) *Event {
+	if t < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	e := &Event{when: t, seq: l.nextSeq, fn: fn}
+	l.nextSeq++
+	heap.Push(&l.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (l *Loop) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return l.At(l.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (l *Loop) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&l.queue, e.idx)
+	e.idx = -1
+	e.fn = nil
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It returns false if the queue is empty.
+func (l *Loop) Step() bool {
+	if len(l.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.queue).(*Event)
+	l.now = e.when
+	fn := e.fn
+	e.fn = nil
+	l.fired++
+	fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass end, then sets the
+// clock to exactly end. Events scheduled at exactly end do run.
+func (l *Loop) RunUntil(end Time) {
+	for len(l.queue) > 0 && l.queue[0].when <= end {
+		l.Step()
+	}
+	if l.now < end {
+		l.now = end
+	}
+}
+
+// Run executes events until the queue is empty.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// Ticker invokes fn every interval until stopped, starting at start.
+// It reschedules itself after each invocation so that canceling is cheap
+// and intervals can be changed between ticks.
+type Ticker struct {
+	loop     *Loop
+	interval Time
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker starts a ticker whose first tick fires at start.
+func (l *Loop) NewTicker(start, interval Time, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	t := &Ticker{loop: l, interval: interval, fn: fn}
+	t.ev = l.At(start, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have called Stop
+		t.ev = t.loop.After(t.interval, t.tick)
+	}
+}
+
+// SetInterval changes the interval used for subsequent ticks.
+func (t *Ticker) SetInterval(interval Time) {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	t.interval = interval
+}
+
+// Stop halts the ticker. Safe to call from inside the tick callback and
+// idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.loop.Cancel(t.ev)
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	l.At(30*Microsecond, func() { got = append(got, 3) })
+	l.At(10*Microsecond, func() { got = append(got, 1) })
+	l.At(20*Microsecond, func() { got = append(got, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if l.Now() != 30*Microsecond {
+		t.Fatalf("final clock %v", l.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		l.At(Millisecond, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	l := NewLoop()
+	var fireTime Time
+	l.At(5*Millisecond, func() {
+		l.After(2*Millisecond, func() { fireTime = l.Now() })
+	})
+	l.Run()
+	if fireTime != 7*Millisecond {
+		t.Fatalf("After fired at %v, want 7ms", fireTime)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	e := l.At(Millisecond, func() { fired = true })
+	l.Cancel(e)
+	l.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	l.Cancel(e) // idempotent
+	l.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	var events []*Event
+	for i := 0; i < 50; i++ {
+		i := i
+		events = append(events, l.At(Time(i)*Microsecond, func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 50; i += 3 {
+		l.Cancel(events[i])
+	}
+	l.Run()
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+	if len(got) != 50-17 {
+		t.Fatalf("fired %d events, want %d", len(got), 50-17)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	l := NewLoop()
+	l.At(10*Millisecond, func() {})
+	l.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	l.At(Millisecond, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	NewLoop().At(0, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop()
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		tm := Time(i) * Millisecond
+		l.At(tm, func() { fired = append(fired, tm) })
+	}
+	l.RunUntil(5 * Millisecond)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5 (inclusive boundary)", len(fired))
+	}
+	if l.Now() != 5*Millisecond {
+		t.Fatalf("clock %v after RunUntil", l.Now())
+	}
+	l.RunUntil(20 * Millisecond)
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events after second RunUntil", len(fired))
+	}
+	if l.Now() != 20*Millisecond {
+		t.Fatalf("clock should land exactly on end: %v", l.Now())
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	l := NewLoop()
+	l.RunUntil(Second)
+	if l.Now() != Second {
+		t.Fatalf("clock %v", l.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	l := NewLoop()
+	if l.Step() {
+		t.Fatal("Step on empty loop returned true")
+	}
+}
+
+func TestEventScheduledDuringCallback(t *testing.T) {
+	l := NewLoop()
+	count := 0
+	var rec func()
+	rec = func() {
+		count++
+		if count < 5 {
+			l.After(Millisecond, rec)
+		}
+	}
+	l.At(0, rec)
+	l.Run()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if l.Now() != 4*Millisecond {
+		t.Fatalf("clock %v", l.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	l := NewLoop()
+	var ticks []Time
+	tk := l.NewTicker(Millisecond, 2*Millisecond, func() {
+		ticks = append(ticks, l.Now())
+	})
+	l.RunUntil(10 * Millisecond)
+	tk.Stop()
+	l.RunUntil(20 * Millisecond)
+	want := []Time{1, 3, 5, 7, 9}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i]*Millisecond {
+			t.Fatalf("tick %d at %v, want %v ms", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	l := NewLoop()
+	count := 0
+	var tk *Ticker
+	tk = l.NewTicker(0, Millisecond, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	l.Run()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerSetInterval(t *testing.T) {
+	l := NewLoop()
+	var ticks []Time
+	var tk *Ticker
+	tk = l.NewTicker(0, Millisecond, func() {
+		ticks = append(ticks, l.Now())
+		if len(ticks) == 2 {
+			tk.SetInterval(5 * Millisecond)
+		}
+	})
+	l.RunUntil(12 * Millisecond)
+	tk.Stop()
+	want := []Time{0, Millisecond, 6 * Millisecond, 11 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Duration(time.Millisecond) != Millisecond {
+		t.Fatal("Duration conversion wrong")
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if (Millisecond + 500*Microsecond).Milliseconds() != 1.5 {
+		t.Fatal("Milliseconds conversion wrong")
+	}
+	if (3 * Microsecond).Microseconds() != 3 {
+		t.Fatal("Microseconds conversion wrong")
+	}
+	if (50 * Microsecond).ToDuration() != 50*time.Microsecond {
+		t.Fatal("ToDuration wrong")
+	}
+}
+
+// Property: regardless of insertion order, events fire in nondecreasing
+// time order and the clock never goes backwards.
+func TestEventOrderProperty(t *testing.T) {
+	if err := quick.Check(func(offsets []uint16) bool {
+		l := NewLoop()
+		var fired []Time
+		for _, off := range offsets {
+			tm := Time(off) * Microsecond
+			l.At(tm, func() { fired = append(fired, l.Now()) })
+		}
+		l.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	l := NewLoop()
+	for i := 0; i < b.N; i++ {
+		l.After(Microsecond, func() {})
+		l.Step()
+	}
+}

@@ -1,0 +1,125 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", Points: []Point{{0, 0}, {1, 1}, {2, 4}}},
+		{Name: "b", Points: []Point{{0, 4}, {2, 0}}},
+	}, Options{Title: "demo", Width: 30, Height: 8, XLabel: "x", YLabel: "y"})
+	for _, want := range []string{"demo", "* a", "+ b", "x: x   y: y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Plot area has the requested height (+ title, axis, labels, legend).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+8+1+1+1+1 {
+		t.Errorf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, Options{}); got != "(no data)\n" {
+		t.Fatalf("empty = %q", got)
+	}
+	if got := Render([]Series{{Name: "x"}}, Options{}); got != "(no data)\n" {
+		t.Fatalf("empty series = %q", got)
+	}
+}
+
+func TestRenderGlyphPlacement(t *testing.T) {
+	// A single point must land at the plot's corners when at the data
+	// extremes.
+	out := Render([]Series{
+		{Name: "lo", Glyph: 'L', Points: []Point{{0, 0}}},
+		{Name: "hi", Glyph: 'H', Points: []Point{{10, 10}}},
+	}, Options{Width: 20, Height: 5})
+	lines := strings.Split(out, "\n")
+	// First grid line holds H at the right edge, last holds L at left.
+	if !strings.Contains(lines[0], "H") {
+		t.Errorf("no H on top row: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "L") {
+		t.Errorf("no L on bottom row: %q", lines[4])
+	}
+	hCol := strings.IndexRune(lines[0], 'H')
+	lCol := strings.IndexRune(lines[4], 'L')
+	if hCol <= lCol {
+		t.Errorf("H at %d should be right of L at %d", hCol, lCol)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	// With LogY, points at 1, 10, 100 are evenly spaced vertically.
+	out := Render([]Series{
+		{Name: "s", Glyph: '*', Points: []Point{{0, 1}, {1, 10}, {2, 100}}},
+	}, Options{Width: 21, Height: 9, LogY: true})
+	lines := strings.Split(out, "\n")
+	var rows []int
+	for i, line := range lines {
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("points on %d rows:\n%s", len(rows), out)
+	}
+	if (rows[1] - rows[0]) != (rows[2] - rows[1]) {
+		t.Errorf("log spacing uneven: rows %v\n%s", rows, out)
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	out := Render([]Series{
+		{Name: "s", Points: []Point{{0, 5}}},
+	}, Options{Width: 20, Height: 5, YMin: 0, YMax: 10})
+	if !strings.Contains(out, "10 |") {
+		t.Errorf("fixed y max missing:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Identical X and Y across all points must not divide by zero.
+	out := Render([]Series{
+		{Name: "s", Points: []Point{{5, 7}, {5, 7}}},
+	}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("degenerate plot lost its point:\n%s", out)
+	}
+}
+
+func TestFmtNum(t *testing.T) {
+	cases := map[float64]string{
+		0:         "0",
+		2_500_000: "2.5M",
+		3_000:     "3.0k",
+		42:        "42",
+		0.5:       "0.50",
+		0.0001:    "0.0001",
+		1.5e9:     "1.5G",
+	}
+	for in, want := range cases {
+		if got := fmtNum(in); got != want {
+			t.Errorf("fmtNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefaultGlyphCycle(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: strings.Repeat("s", i+1), Points: []Point{{float64(i), float64(i)}}}
+	}
+	out := Render(series, Options{Width: 30, Height: 10})
+	// Glyphs repeat after the palette is exhausted; just check the
+	// legend mentions every series.
+	for i := range series {
+		if !strings.Contains(out, series[i].Name) {
+			t.Errorf("legend missing series %d", i)
+		}
+	}
+}

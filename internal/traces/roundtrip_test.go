@@ -1,0 +1,78 @@
+package traces
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"smartharvest/internal/sim"
+	"smartharvest/internal/workload"
+)
+
+// Property: Write/Read round-trips arbitrary sorted traces exactly.
+func TestWriteReadProperty(t *testing.T) {
+	if err := quick.Check(func(atsRaw []uint32, batchesRaw []uint8) bool {
+		n := len(atsRaw)
+		if len(batchesRaw) < n {
+			n = len(batchesRaw)
+		}
+		if n == 0 {
+			return true
+		}
+		ats := make([]int64, n)
+		for i := 0; i < n; i++ {
+			ats[i] = int64(atsRaw[i])
+		}
+		sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+		events := make([]workload.TraceEvent, n)
+		for i := 0; i < n; i++ {
+			events[i] = workload.TraceEvent{
+				At:    sim.Time(ats[i]),
+				Batch: int(batchesRaw[i]%16) + 1,
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, events); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated traces replay cleanly through TraceReplay without
+// negative gaps for several loops.
+func TestGeneratedTraceReplays(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := DefaultConfig(200, 2*sim.Second)
+		cfg.Seed = seed
+		events, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := workload.NewTraceReplay(events, cfg.Span)
+		var now sim.Time
+		for i := 0; i < 3*len(events); i++ {
+			gap, batch := r.Next(now)
+			if gap < 0 || batch < 1 {
+				t.Fatalf("seed %d: bad replay step gap=%v batch=%d", seed, gap, batch)
+			}
+			now += gap
+		}
+		// Three full loops must span roughly three trace spans.
+		if now < 2*cfg.Span || now > 4*cfg.Span {
+			t.Fatalf("seed %d: 3 loops spanned %v of %v", seed, now, cfg.Span)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package smartharvest is a from-scratch Go reproduction of SmartHarvest
+// (Wang et al., EuroSys '21): a system that harvests allocated-but-idle
+// CPU cores from black-box primary VMs for a co-located low-priority
+// ElasticVM, using online cost-sensitive learning to predict the
+// primaries' peak core demand every few milliseconds while protecting
+// their tail latency with a two-level safeguard.
+//
+// This root package is the public facade. It re-exports the pieces a
+// downstream user composes:
+//
+//   - Scenario / Run: describe and execute a full experiment on the
+//     simulated Hyper-V-like machine (primary VMs with latency-critical
+//     workloads, an ElasticVM with a batch workload, and the EVMAgent).
+//   - Controller and the policy constructors: SmartHarvest's online
+//     learner plus the paper's baselines (fixed buffer, previous-peak
+//     heuristics, EWMA, no-harvest). Implement Controller yourself to
+//     plug in a custom harvesting policy.
+//   - The workload catalog: calibrated models of the paper's four
+//     latency-critical primaries, the square-wave synthetic, and three
+//     batch applications.
+//
+// A minimal run:
+//
+//	res, err := smartharvest.Run(smartharvest.Scenario{
+//		Name:      "quickstart",
+//		Primaries: []smartharvest.PrimarySpec{smartharvest.Memcached(40000)},
+//		Duration:  30 * smartharvest.Second,
+//	})
+//
+// The lower-level building blocks (the discrete-event loop, the simulated
+// hypervisor, the CSOAA learner) live in internal/ packages; see DESIGN.md
+// for the architecture and EXPERIMENTS.md for the paper-reproduction
+// results.
+package smartharvest
+
+import (
+	"smartharvest/internal/apps"
+	"smartharvest/internal/core"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/sim"
+)
+
+// Time is a span of virtual time in nanoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Scenario describes one experiment: the primary workloads, the batch
+// workload, the reassignment mechanism, the harvesting policy, and the
+// run length. See harness.Scenario for field documentation.
+type Scenario = harness.Scenario
+
+// Result carries everything a run produces: per-primary latency
+// summaries, harvested-core averages, batch completion, agent behaviour
+// counters, and reassignment-latency distributions.
+type Result = harness.Result
+
+// PrimaryResult is one primary workload's outcome within a Result.
+type PrimaryResult = harness.PrimaryResult
+
+// PrimarySpec describes a primary application at an offered load.
+type PrimarySpec = apps.PrimarySpec
+
+// ChurnEvent schedules a primary-VM arrival or departure during a run
+// (Scenario.Churn).
+type ChurnEvent = harness.ChurnEvent
+
+// BatchKind selects the ElasticVM workload.
+type BatchKind = harness.BatchKind
+
+// Batch workload choices.
+const (
+	BatchCPUBully  = harness.BatchCPUBully
+	BatchHDInsight = harness.BatchHDInsight
+	BatchTeraSort  = harness.BatchTeraSort
+	BatchNone      = harness.BatchNone
+)
+
+// Mechanism selects how core reassignments take effect.
+type Mechanism = hypervisor.Mechanism
+
+// Reassignment mechanisms: the stock cpugroups path (hypercalls plus
+// non-preemptive scheduling-event delays) and the paper's merge-call+IPI
+// path.
+const (
+	CpuGroups = hypervisor.CpuGroups
+	IPI       = hypervisor.IPI
+)
+
+// Controller is the policy interface the EVMAgent drives: it decides the
+// primary-core target at every learning-window boundary (and, for
+// reactive policies, at every poll). Implement it to plug a custom
+// harvesting policy into Scenario.Controller.
+type Controller = core.Controller
+
+// Window is the per-learning-window information a Controller sees.
+type Window = core.Window
+
+// ControllerFactory builds a Controller for a primary core allocation.
+type ControllerFactory = harness.ControllerFactory
+
+// SmartHarvestOptions tunes the paper's learner (learning rate, cost
+// function, short-term safeguard mode).
+type SmartHarvestOptions = core.SmartHarvestOptions
+
+// SafeguardMode selects the short-term safeguard response.
+type SafeguardMode = core.SafeguardMode
+
+// Short-term safeguard modes (paper Figure 10).
+const (
+	ConservativeSafeguard = core.ConservativeSafeguard
+	AggressiveSafeguard   = core.AggressiveSafeguard
+)
+
+// Run executes a scenario on the simulated machine and returns its
+// results. Runs are deterministic given Scenario.Seed.
+func Run(s Scenario) (*Result, error) { return harness.Run(s) }
+
+// RunSpeedup runs the scenario twice — with its policy and with
+// NoHarvest — and returns the batch job's completion-time speedup (the
+// paper's Figure 6 metric).
+func RunSpeedup(s Scenario) (speedup float64, with, baseline *Result, err error) {
+	return harness.RunSpeedup(s)
+}
+
+// Policies.
+
+// NewSmartHarvest builds the paper's online-learning policy.
+func NewSmartHarvest(opts SmartHarvestOptions) ControllerFactory {
+	return harness.SmartHarvestFactory(opts)
+}
+
+// NewFixedBuffer builds the PerfIso-style fixed idle buffer of k cores.
+func NewFixedBuffer(k int) ControllerFactory { return harness.FixedBufferFactory(k) }
+
+// NewPrevPeak builds the previous-peak heuristic over n windows;
+// returnOne selects PrevPeak10's one-core-at-a-time safeguard response.
+func NewPrevPeak(n int, returnOne bool) ControllerFactory {
+	return harness.PrevPeakFactory(n, returnOne)
+}
+
+// NewNoHarvest builds the null policy (the latency baseline).
+func NewNoHarvest() ControllerFactory { return harness.NoHarvestFactory() }
+
+// NewEWMA builds the exponentially-weighted-moving-average baseline.
+func NewEWMA(alpha float64, margin int) ControllerFactory {
+	return harness.EWMAFactory(alpha, margin)
+}
+
+// Custom wraps a user-provided Controller constructor so it can be used
+// as a Scenario.Controller.
+func Custom(build func(primaryAlloc int) Controller) ControllerFactory {
+	return func(alloc int) core.Controller { return build(alloc) }
+}
+
+// Workloads — the paper's §5.1 catalog, calibrated per DESIGN.md.
+
+// Memcached models the in-memory key-value store at the given QPS.
+func Memcached(qps float64) PrimarySpec { return apps.Memcached(qps) }
+
+// MemcachedSwinging models a key-value store with sharp aperiodic load
+// swings (the Figure 11 stress case).
+func MemcachedSwinging(qps float64) PrimarySpec { return apps.MemcachedSwinging(qps) }
+
+// IndexServe models the web-search index-serving node at the given QPS.
+func IndexServe(qps float64) PrimarySpec { return apps.IndexServe(qps) }
+
+// Moses models the TailBench machine-translation service.
+func Moses(qps float64) PrimarySpec { return apps.Moses(qps) }
+
+// ImgDNN models the TailBench handwriting-recognition service.
+func ImgDNN(qps float64) PrimarySpec { return apps.ImgDNN(qps) }
+
+// SquareWave models the Figure 7 synthetic square-wave primary.
+func SquareWave(high, low int, halfPeriod Time) PrimarySpec {
+	return apps.SquareWave(high, low, halfPeriod)
+}
+
+// MemcachedVaryingLoad models Table 2's stepped-load Memcached.
+func MemcachedVaryingLoad(phaseQPS []float64, phaseLen Time) PrimarySpec {
+	return apps.MemcachedVaryingLoad(phaseQPS, phaseLen)
+}
