@@ -19,13 +19,19 @@ import (
 	"time"
 
 	"smartharvest/internal/experiments"
+	"smartharvest/internal/harness"
 	"smartharvest/internal/sim"
 )
 
 var benchDuration = flag.Duration("bench-duration", 6*time.Second,
 	"simulated duration per scenario in experiment benchmarks")
 
-// benchExperiment runs one experiment per iteration.
+var benchParallel = flag.Int("bench-parallel", 0,
+	"scenario worker-pool size in experiment benchmarks (0 = GOMAXPROCS)")
+
+// benchExperiment runs one experiment per iteration and reports
+// simulated seconds of machine time per wall second as the throughput
+// metric, alongside the usual -benchmem allocation counters.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	run, ok := experiments.Lookup(id)
@@ -34,6 +40,9 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	cfg := experiments.Quick()
 	cfg.Duration = sim.Duration(*benchDuration)
+	cfg.Parallel = *benchParallel
+	simStart := harness.SimTimeExecuted()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := run(cfg)
@@ -43,6 +52,11 @@ func benchExperiment(b *testing.B, id string) {
 		if len(rep.Lines) == 0 {
 			b.Fatalf("%s produced an empty report", id)
 		}
+	}
+	b.StopTimer()
+	simSec := (harness.SimTimeExecuted() - simStart).Seconds()
+	if wall := b.Elapsed().Seconds(); wall > 0 {
+		b.ReportMetric(simSec/wall, "sim-s/wall-s")
 	}
 }
 

@@ -9,11 +9,20 @@
 // report prints to stdout; -out additionally writes one file per
 // experiment.
 //
+// Scenarios within an experiment always run on harness.RunAll's worker
+// pool, and when several experiments are requested the experiments
+// themselves also run concurrently; reports stream to stdout in request
+// order regardless. All output is byte-identical to a serial run
+// (-parallel 1) with the same seed.
+//
 // Flags:
 //
 //	-duration  measured simulated time per run (default 30s)
 //	-warmup    warmup before measurement (default 2s)
 //	-seed      RNG seed (default 1)
+//	-seeds     consecutive seeds per experiment (default 1)
+//	-parallel  worker-pool size for scenarios and experiments
+//	           (default 0 = GOMAXPROCS; 1 = fully serial)
 //	-quick     shortcut for -duration 6s
 //	-out DIR   also write <DIR>/<id>.txt
 //	-list      list experiment IDs and exit
@@ -24,17 +33,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"smartharvest/internal/experiments"
+	"smartharvest/internal/harness"
 	"smartharvest/internal/sim"
 )
+
+// jobOutput is everything one experiment (all its seeds) produced.
+type jobOutput struct {
+	id       string
+	stdout   strings.Builder // report text + per-seed wall times
+	combined []byte          // what -out writes
+	errs     []error
+	wall     time.Duration
+}
 
 func main() {
 	duration := flag.Duration("duration", 30*time.Second, "measured simulated time per run")
 	warmup := flag.Duration("warmup", 2*time.Second, "simulated warmup before measurement")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run each experiment with (the paper averages 3 runs)")
+	parallel := flag.Int("parallel", 0, "scenario/experiment worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	quick := flag.Bool("quick", false, "short runs (6s simulated)")
 	outDir := flag.String("out", "", "directory to also write per-experiment reports to")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
@@ -51,6 +73,7 @@ func main() {
 		Duration: sim.Duration(*duration),
 		Warmup:   sim.Duration(*warmup),
 		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	if *quick {
 		cfg.Duration = 6 * sim.Second
@@ -73,40 +96,110 @@ func main() {
 	if *seeds < 1 {
 		*seeds = 1
 	}
+
+	workers := *parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(ids))
+
+	simStart := harness.SimTimeExecuted()
+	wallStart := time.Now()
+
+	// Run experiments on a bounded pool; stream reports in request order.
+	ready := make([]chan *jobOutput, len(ids))
+	for i := range ready {
+		ready[i] = make(chan *jobOutput, 1)
+	}
+	next := make(chan int, len(ids))
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range next {
+				ready[i] <- runExperiment(ids[i], cfg, *seeds)
+			}
+		}()
+	}
+
 	exitCode := 0
-	for _, id := range ids {
-		run, ok := experiments.Lookup(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+	outputs := make([]*jobOutput, len(ids))
+	for i := range ids {
+		out := <-ready[i]
+		outputs[i] = out
+		fmt.Print(out.stdout.String())
+		for _, err := range out.errs {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", out.id, err)
 			exitCode = 1
-			continue
 		}
-		var combined []byte
-		for rep := 0; rep < *seeds; rep++ {
-			runCfg := cfg
-			runCfg.Seed = cfg.Seed + uint64(rep)
-			start := time.Now()
-			report, err := run(runCfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-				exitCode = 1
-				continue
-			}
-			if *seeds > 1 {
-				fmt.Printf("[seed %d]\n", runCfg.Seed)
-				combined = append(combined, fmt.Sprintf("[seed %d]\n", runCfg.Seed)...)
-			}
-			fmt.Print(report)
-			fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(10*time.Millisecond))
-			combined = append(combined, report.String()...)
-		}
-		if *outDir != "" && len(combined) > 0 {
-			path := filepath.Join(*outDir, id+".txt")
-			if err := os.WriteFile(path, combined, 0o644); err != nil {
+		if *outDir != "" && len(out.combined) > 0 {
+			path := filepath.Join(*outDir, out.id+".txt")
+			if err := os.WriteFile(path, out.combined, 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
 				exitCode = 1
 			}
 		}
 	}
+
+	if len(ids) > 1 {
+		printSummary(outputs, time.Since(wallStart), harness.SimTimeExecuted()-simStart, workers)
+	}
 	os.Exit(exitCode)
+}
+
+// runExperiment executes one experiment across its seeds and collects
+// everything it printed, so concurrent experiments do not interleave.
+func runExperiment(id string, cfg experiments.Config, seeds int) *jobOutput {
+	out := &jobOutput{id: id}
+	start := time.Now()
+	defer func() { out.wall = time.Since(start) }()
+
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		out.errs = append(out.errs, fmt.Errorf("unknown experiment %q (use -list)", id))
+		return out
+	}
+	for rep := 0; rep < seeds; rep++ {
+		runCfg := cfg
+		runCfg.Seed = cfg.Seed + uint64(rep)
+		repStart := time.Now()
+		report, err := run(runCfg)
+		if err != nil {
+			out.errs = append(out.errs, err)
+			continue
+		}
+		if seeds > 1 {
+			fmt.Fprintf(&out.stdout, "[seed %d]\n", runCfg.Seed)
+			out.combined = append(out.combined, fmt.Sprintf("[seed %d]\n", runCfg.Seed)...)
+		}
+		out.stdout.WriteString(report.String())
+		fmt.Fprintf(&out.stdout, "(%s wall time)\n\n", time.Since(repStart).Round(10*time.Millisecond))
+		out.combined = append(out.combined, report.String()...)
+	}
+	return out
+}
+
+// printSummary reports per-experiment wall time and the aggregate
+// simulation throughput, so parallel speedups are visible without
+// running benchmarks. Note that per-experiment wall times overlap when
+// experiments run concurrently, so they sum to more than the total.
+func printSummary(outputs []*jobOutput, wall time.Duration, simTime sim.Time, workers int) {
+	fmt.Printf("== summary (%d workers) ==\n", workers)
+	for _, out := range outputs {
+		status := ""
+		if len(out.errs) > 0 {
+			status = "  FAILED"
+		}
+		fmt.Printf("%-12s %8s%s\n", out.id, out.wall.Round(10*time.Millisecond), status)
+	}
+	simSec := simTime.Seconds()
+	wallSec := wall.Seconds()
+	rate := 0.0
+	if wallSec > 0 {
+		rate = simSec / wallSec
+	}
+	fmt.Printf("total: %d experiments in %s wall; %.0f sim-s executed (%.1f sim-s/wall-s)\n",
+		len(outputs), wall.Round(10*time.Millisecond), simSec, rate)
 }

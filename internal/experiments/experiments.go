@@ -1,9 +1,10 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§5). Each experiment builds its scenarios through
-// internal/harness, runs them on the simulator, and formats the same
-// rows/series the paper reports. cmd/experiments exposes them on the
-// command line; bench_test.go at the repository root wraps each one in a
-// testing.B benchmark.
+// evaluation (§5). Each experiment declares the full list of scenarios it
+// needs up front, runs them on harness.RunAll's worker pool (every
+// scenario is an independent, seeded simulation), and then formats the
+// same rows/series the paper reports from the collected results.
+// cmd/experiments exposes them on the command line; bench_test.go at the
+// repository root wraps each one in a testing.B benchmark.
 //
 // Absolute numbers differ from the paper (the substrate is a calibrated
 // simulator, not the authors' Hyper-V testbed); the shapes — who wins, by
@@ -32,6 +33,9 @@ type Config struct {
 	Warmup sim.Time
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallel bounds the scenario worker pool (0 = GOMAXPROCS).
+	// Results are byte-identical at any setting; see harness.RunAll.
+	Parallel int
 }
 
 // Default returns the full-length configuration (30 s measured per run,
@@ -43,6 +47,11 @@ func Default() Config {
 // Quick returns a configuration for smoke tests and benchmarks.
 func Quick() Config {
 	return Config{Duration: 6 * sim.Second, Warmup: 2 * sim.Second, Seed: 1}
+}
+
+// runAll executes scenarios on the configured worker pool.
+func runAll(cfg Config, scenarios []harness.Scenario) ([]*harness.Result, error) {
+	return harness.RunAll(scenarios, harness.Parallelism(cfg.Parallel))
 }
 
 // Report is a formatted experiment result.
@@ -65,6 +74,11 @@ func (r *Report) String() string {
 
 func (r *Report) addf(format string, args ...any) {
 	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// addPlot appends a rendered textplot to the report.
+func (r *Report) addPlot(plot string) {
+	r.Lines = append(r.Lines, strings.Split(strings.TrimRight(plot, "\n"), "\n")...)
 }
 
 // Runner is an experiment entry point.
@@ -171,23 +185,38 @@ func smartharvest() harness.ControllerFactory {
 	return harness.SmartHarvestFactory(core.SmartHarvestOptions{})
 }
 
+// policyRow pairs a display name with a controller factory; every sweep
+// declares its policies as rows, runs them in one batch, and formats
+// afterwards.
+type policyRow struct {
+	name string
+	f    harness.ControllerFactory
+}
+
 // Table1 reproduces the paper's Table 1: average and average-peak busy
 // cores for each primary workload running alone in a 10-core VM, polled
 // every 50 µs with peaks per 25 ms window.
 func Table1(cfg Config) (*Report, error) {
+	specs := standardPrimaries()
+	scens := make([]harness.Scenario, len(specs))
+	for i, spec := range specs {
+		s := scenario(cfg, "table1-"+spec.Name, spec, harness.NoHarvestFactory())
+		s.CollectBusyStats = true
+		scens[i] = s
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
 	r := &Report{ID: "table1", Title: "avg CPU stats in #cores (primary alone, 10-core VM)"}
 	r.addf("%-12s %10s %12s %12s", "workload", "qps", "avg busy", "avg peak")
 	paper := map[string][2]float64{
 		"indexserve": {1.3, 7.0}, "memcached": {2.3, 7.7},
 		"moses": {1.5, 5.2}, "img-dnn": {1.7, 6.9},
 	}
-	for _, spec := range standardPrimaries() {
-		s := scenario(cfg, "table1-"+spec.Name, spec, harness.NoHarvestFactory())
-		s.CollectBusyStats = true
-		res, err := harness.Run(s)
-		if err != nil {
-			return nil, err
-		}
+	for i, spec := range specs {
+		res := results[i]
 		p := paper[spec.Name]
 		r.addf("%-12s %10.0f %12.2f %12.2f   (paper: %.1f / %.1f)",
 			spec.Name, spec.QPS, res.AvgBusyCores, res.AvgWindowPeak, p[0], p[1])
@@ -198,20 +227,26 @@ func Table1(cfg Config) (*Report, error) {
 // Fig4 reproduces the learning-window sweep: Memcached + CPUBully with
 // 15/25/35 ms windows, reporting P99 against the harvest achieved.
 func Fig4(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig4", Title: "learning window size exploration (Memcached 40k + CPUBully)"}
-	base, err := harness.Run(scenario(cfg, "fig4-base", apps.Memcached(40000), harness.NoHarvestFactory()))
+	windows := []sim.Time{15 * sim.Millisecond, 25 * sim.Millisecond, 35 * sim.Millisecond}
+	scens := []harness.Scenario{
+		scenario(cfg, "fig4-base", apps.Memcached(40000), harness.NoHarvestFactory()),
+	}
+	for _, w := range windows {
+		s := scenario(cfg, "fig4-w", apps.Memcached(40000), smartharvest())
+		s.Window = w
+		scens = append(scens, s)
+	}
+	results, err := runAll(cfg, scens)
 	if err != nil {
 		return nil, err
 	}
+
+	r := &Report{ID: "fig4", Title: "learning window size exploration (Memcached 40k + CPUBully)"}
+	base := results[0]
 	r.addf("%-22s %10s %8s %12s", "config", "P99", "vs base", "harvested")
 	r.addf("%-22s %10s %8s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00")
-	for _, w := range []sim.Time{15 * sim.Millisecond, 25 * sim.Millisecond, 35 * sim.Millisecond} {
-		s := scenario(cfg, "fig4-w", apps.Memcached(40000), smartharvest())
-		s.Window = w
-		res, err := harness.Run(s)
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range windows {
+		res := results[i+1]
 		r.addf("%-22s %10s %8s %12.2f",
 			fmt.Sprintf("smartharvest (%dms)", int(w.Milliseconds())),
 			ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
@@ -231,33 +266,48 @@ var fig5Buffers = map[string][]int{
 // Fig5 reproduces the single-primary comparison: P99 latency versus
 // average cores harvested for NoHarvest, the FixedBuffer sweep,
 // SmartHarvest, and PrevPeak, for each of the four primaries co-located
-// with CPUBully.
+// with CPUBully. All four workloads' sweeps run on one worker pool.
 func Fig5(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig5", Title: "single primary VM co-located with CPUBully"}
-	for _, spec := range standardPrimaries() {
-		base, err := harness.Run(scenario(cfg, "fig5-base", spec, harness.NoHarvestFactory()))
-		if err != nil {
-			return nil, err
+	specs := standardPrimaries()
+	type block struct {
+		spec apps.PrimarySpec
+		base int // scenario index of the no-harvest baseline
+		rows []policyRow
+		idx  []int // scenario index per row
+	}
+	var scens []harness.Scenario
+	blocks := make([]block, len(specs))
+	for bi, spec := range specs {
+		blk := block{spec: spec, base: len(scens)}
+		scens = append(scens, scenario(cfg, "fig5-base", spec, harness.NoHarvestFactory()))
+		blk.rows = []policyRow{
+			{"smartharvest", smartharvest()},
+			{"prevpeak", harness.PrevPeakFactory(1, false)},
 		}
-		r.addf("--- %s (%0.0f qps), allowed P99 = +10%% of %s ---", spec.Name, spec.QPS, ms(base.P99(0)))
-		r.addf("%-18s %10s %8s %10s %12s %s", "policy", "P99", "vs base", "P99.9", "harvested", "flags")
-		type row struct {
-			name string
-			f    harness.ControllerFactory
-		}
-		rows := []row{{"smartharvest", smartharvest()}, {"prevpeak", harness.PrevPeakFactory(1, false)}}
 		for _, k := range fig5Buffers[spec.Name] {
-			k := k
-			rows = append(rows, row{fmt.Sprintf("fixedbuffer-%d", k), harness.FixedBufferFactory(k)})
+			blk.rows = append(blk.rows, policyRow{fmt.Sprintf("fixedbuffer-%d", k), harness.FixedBufferFactory(k)})
 		}
+		for _, rw := range blk.rows {
+			blk.idx = append(blk.idx, len(scens))
+			scens = append(scens, scenario(cfg, "fig5-"+spec.Name+"-"+rw.name, spec, rw.f))
+		}
+		blocks[bi] = blk
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "fig5", Title: "single primary VM co-located with CPUBully"}
+	for _, blk := range blocks {
+		base := results[blk.base]
+		r.addf("--- %s (%0.0f qps), allowed P99 = +10%% of %s ---", blk.spec.Name, blk.spec.QPS, ms(base.P99(0)))
+		r.addf("%-18s %10s %8s %10s %12s %s", "policy", "P99", "vs base", "P99.9", "harvested", "flags")
 		scatter := map[string][]textplot.Point{
 			"noharvest": {{X: 0, Y: float64(base.P99(0)) / 1e6}},
 		}
-		for _, rw := range rows {
-			res, err := harness.Run(scenario(cfg, "fig5-"+spec.Name+"-"+rw.name, spec, rw.f))
-			if err != nil {
-				return nil, err
-			}
+		for i, rw := range blk.rows {
+			res := results[blk.idx[i]]
 			flags := ""
 			if float64(res.P99(0)) > float64(base.P99(0))*1.1 {
 				flags = "VIOLATES +10%"
@@ -273,51 +323,70 @@ func Fig5(cfg Config) (*Report, error) {
 				X: res.AvgHarvestedCores, Y: float64(res.P99(0)) / 1e6,
 			})
 		}
-		plot := textplot.Render([]textplot.Series{
+		r.addPlot(textplot.Render([]textplot.Series{
 			{Name: "no harvesting", Glyph: '@', Points: scatter["noharvest"]},
 			{Name: "smartharvest", Glyph: '*', Points: scatter["smartharvest"]},
 			{Name: "prevpeak", Glyph: 'o', Points: scatter["prevpeak"]},
 			{Name: "fixed buffers", Glyph: '+', Points: scatter["fixedbuffer"]},
 		}, textplot.Options{
-			Title:  fmt.Sprintf("%s: P99 vs cores harvested", spec.Name),
+			Title:  fmt.Sprintf("%s: P99 vs cores harvested", blk.spec.Name),
 			XLabel: "avg cores harvested", YLabel: "P99 ms", LogY: true,
 			Width: 52, Height: 12,
-		})
-		r.Lines = append(r.Lines, strings.Split(strings.TrimRight(plot, "\n"), "\n")...)
+		}))
 	}
 	return r, nil
 }
 
 // Fig6 reproduces the realistic-batch experiment: IndexServe co-located
 // with HDInsight and TeraSort, reporting batch speedup (vs a 1-core
-// ElasticVM) against IndexServe's P99.
+// ElasticVM) against IndexServe's P99. Each policy declares a
+// (with, baseline) scenario pair so both runs share the worker pool.
 func Fig6(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig6", Title: "IndexServe co-located with real batch workloads"}
 	spec := apps.IndexServe(500)
-	for _, batch := range []harness.BatchKind{harness.BatchHDInsight, harness.BatchTeraSort} {
-		base, err := harness.Run(scenario(cfg, "fig6-base", spec, harness.NoHarvestFactory()))
-		if err != nil {
-			return nil, err
-		}
-		r.addf("--- %s w/ %s, no-harvest P99 = %s ---", spec.Name, batch, ms(base.P99(0)))
-		r.addf("%-18s %10s %8s %9s", "policy", "P99", "vs base", "speedup")
-		type row struct {
-			name string
-			f    harness.ControllerFactory
-		}
-		rows := []row{
-			{"smartharvest", smartharvest()},
-			{"prevpeak", harness.PrevPeakFactory(1, false)},
-			{"fixedbuffer-7", harness.FixedBufferFactory(7)},
-			{"fixedbuffer-4", harness.FixedBufferFactory(4)},
-			{"fixedbuffer-2", harness.FixedBufferFactory(2)},
-		}
+	batches := []harness.BatchKind{harness.BatchHDInsight, harness.BatchTeraSort}
+	rows := []policyRow{
+		{"smartharvest", smartharvest()},
+		{"prevpeak", harness.PrevPeakFactory(1, false)},
+		{"fixedbuffer-7", harness.FixedBufferFactory(7)},
+		{"fixedbuffer-4", harness.FixedBufferFactory(4)},
+		{"fixedbuffer-2", harness.FixedBufferFactory(2)},
+	}
+	type block struct {
+		batch harness.BatchKind
+		base  int
+		with  []int // per row: the policy run
+		bline []int // per row: its no-harvest speedup baseline
+	}
+	var scens []harness.Scenario
+	blocks := make([]block, len(batches))
+	for bi, batch := range batches {
+		blk := block{batch: batch, base: len(scens)}
+		scens = append(scens, scenario(cfg, "fig6-base", spec, harness.NoHarvestFactory()))
 		for _, rw := range rows {
 			s := scenario(cfg, "fig6-"+rw.name, spec, rw.f)
 			s.Batch = batch
-			speedup, with, _, err := harness.RunSpeedup(s)
+			blk.with = append(blk.with, len(scens))
+			scens = append(scens, s)
+			blk.bline = append(blk.bline, len(scens))
+			scens = append(scens, harness.BaselineScenario(s))
+		}
+		blocks[bi] = blk
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "fig6", Title: "IndexServe co-located with real batch workloads"}
+	for _, blk := range blocks {
+		base := results[blk.base]
+		r.addf("--- %s w/ %s, no-harvest P99 = %s ---", spec.Name, blk.batch, ms(base.P99(0)))
+		r.addf("%-18s %10s %8s %9s", "policy", "P99", "vs base", "speedup")
+		for i, rw := range rows {
+			with := results[blk.with[i]]
+			speedup, err := harness.Speedup(with, results[blk.bline[i]])
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("fig6 %s/%s: %w", blk.batch, rw.name, err)
 			}
 			r.addf("%-18s %10s %8s %8.2fx",
 				rw.name, ms(with.P99(0)), pct(with.P99(0), base.P99(0)), speedup)
@@ -330,7 +399,6 @@ func Fig6(cfg Config) (*Report, error) {
 // load steps 80k -> 20k -> 160k QPS, and each policy's per-phase P99 and
 // overall harvest are reported.
 func Table2(cfg Config) (*Report, error) {
-	r := &Report{ID: "table2", Title: "Memcached with varying load over time (80k/20k/160k QPS)"}
 	// Each offered load runs for the full configured duration (the paper
 	// gives each load a minute); short phases would let the transition
 	// spike dominate the phase P99.
@@ -338,9 +406,9 @@ func Table2(cfg Config) (*Report, error) {
 	spec := apps.MemcachedVaryingLoad([]float64{80000, 20000, 160000}, phaseLen)
 
 	// Per-phase latencies need phase boundaries on the server; rebuild
-	// the spec with them. Phases align to warmup + i*phaseLen.
-	// Histogram phases must align with the arrival process's phase
-	// boundaries (which count from t=0), not with the warmup cut.
+	// the spec with them. Histogram phases must align with the arrival
+	// process's phase boundaries (which count from t=0), not with the
+	// warmup cut.
 	mkScenario := func(name string, f harness.ControllerFactory) harness.Scenario {
 		s := scenario(cfg, name, specWithPhases(spec, []sim.Time{
 			phaseLen, 2 * phaseLen,
@@ -348,11 +416,7 @@ func Table2(cfg Config) (*Report, error) {
 		s.Duration = 3 * phaseLen
 		return s
 	}
-	type row struct {
-		name string
-		f    harness.ControllerFactory
-	}
-	rows := []row{
+	rows := []policyRow{
 		{"noharvest", harness.NoHarvestFactory()},
 		{"smartharvest", smartharvest()},
 		{"prevpeak", harness.PrevPeakFactory(1, false)},
@@ -360,12 +424,19 @@ func Table2(cfg Config) (*Report, error) {
 		{"fixedbuffer-6", harness.FixedBufferFactory(6)},
 		{"fixedbuffer-7", harness.FixedBufferFactory(7)},
 	}
+	scens := make([]harness.Scenario, len(rows))
+	for i, rw := range rows {
+		scens[i] = mkScenario("table2-"+rw.name, rw.f)
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "table2", Title: "Memcached with varying load over time (80k/20k/160k QPS)"}
 	r.addf("%-15s %12s %12s %12s %10s", "policy", "P99@80k", "P99@20k", "P99@160k", "harvested")
-	for _, rw := range rows {
-		res, err := harness.Run(mkScenario("table2-"+rw.name, rw.f))
-		if err != nil {
-			return nil, err
-		}
+	for i, rw := range rows {
+		res := results[i]
 		ph := res.Primaries[0].Phases
 		if len(ph) < 3 {
 			return nil, fmt.Errorf("table2: expected 3 phases, got %d", len(ph))
@@ -386,56 +457,56 @@ func specWithPhases(spec apps.PrimarySpec, boundaries []sim.Time) apps.PrimarySp
 // PrevPeak10 heuristic: the per-window allocation-vs-peak time series and
 // the P99/harvest scatter.
 func Fig7(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig7", Title: "synthetic square-wave primary vs PrevPeak10 (CPUBully batch)"}
 	spec := apps.SquareWave(8, 1, 500*sim.Millisecond)
-	base, err := harness.Run(scenario(cfg, "fig7-base", spec, harness.NoHarvestFactory()))
+	rows := []policyRow{
+		{"prevpeak10", harness.PrevPeakFactory(10, true)},
+		{"smartharvest", smartharvest()},
+	}
+	scens := []harness.Scenario{
+		scenario(cfg, "fig7-base", spec, harness.NoHarvestFactory()),
+	}
+	for _, rw := range rows {
+		s := scenario(cfg, "fig7-"+rw.name, spec, rw.f)
+		s.RecordSeries = true
+		scens = append(scens, s)
+	}
+	results, err := runAll(cfg, scens)
 	if err != nil {
 		return nil, err
 	}
+
+	r := &Report{ID: "fig7", Title: "synthetic square-wave primary vs PrevPeak10 (CPUBully batch)"}
+	base := results[0]
 	r.addf("%-18s %10s %8s %12s", "policy", "P99", "vs base", "harvested")
 	r.addf("%-18s %10s %8s %12s", "noharvest", ms(base.P99(0)), "-", "0.00")
-	series := map[string]*harness.Result{}
-	for _, rw := range []struct {
-		name string
-		f    harness.ControllerFactory
-	}{
-		{"prevpeak10", harness.PrevPeakFactory(10, true)},
-		{"smartharvest", smartharvest()},
-	} {
-		s := scenario(cfg, "fig7-"+rw.name, spec, rw.f)
-		s.RecordSeries = true
-		res, err := harness.Run(s)
-		if err != nil {
-			return nil, err
-		}
-		series[rw.name] = res
+	for i, rw := range rows {
+		res := results[i+1]
 		r.addf("%-18s %10s %8s %12.2f",
 			rw.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
 	}
 	// Time-series excerpt (Figure 7a): allocated cores vs observed peak
 	// over two square-wave periods, per policy.
-	for _, name := range []string{"prevpeak10", "smartharvest"} {
-		res := series[name]
+	for i, rw := range rows {
+		res := results[i+1]
 		excerptStart := cfg.Warmup + cfg.Duration/2
 		excerptEnd := excerptStart + 2*sim.Second
 		var alloc, peak []textplot.Point
-		for i, p := range res.TargetSeries.Points {
+		for j, p := range res.TargetSeries.Points {
 			if sim.Time(p.Time) < excerptStart || sim.Time(p.Time) > excerptEnd {
 				continue
 			}
 			ts := float64(p.Time) / 1e9
 			alloc = append(alloc, textplot.Point{X: ts, Y: p.Value})
-			peak = append(peak, textplot.Point{X: ts, Y: res.PeakSeries.Points[i].Value})
+			peak = append(peak, textplot.Point{X: ts, Y: res.PeakSeries.Points[j].Value})
 		}
-		plot := textplot.Render([]textplot.Series{
+		r.addPlot(textplot.Render([]textplot.Series{
 			{Name: "allocated cores", Glyph: '#', Points: alloc},
 			{Name: "window peak usage", Glyph: '.', Points: peak},
 		}, textplot.Options{
-			Title:  fmt.Sprintf("%s: allocation vs square-wave usage", name),
+			Title:  fmt.Sprintf("%s: allocation vs square-wave usage", rw.name),
 			XLabel: "time s", YLabel: "cores", YMin: 0, YMax: 11,
 			Width: 64, Height: 12,
-		})
-		r.Lines = append(r.Lines, strings.Split(strings.TrimRight(plot, "\n"), "\n")...)
+		}))
 	}
 	return r, nil
 }
@@ -455,7 +526,6 @@ func Fig9(cfg Config) (*Report, error) {
 }
 
 func multiPrimary(cfg Config, id, title string, primaries []apps.PrimarySpec, buffers []int) (*Report, error) {
-	r := &Report{ID: id, Title: title}
 	mk := func(name string, f harness.ControllerFactory) harness.Scenario {
 		return harness.Scenario{
 			Name:              name,
@@ -468,10 +538,21 @@ func multiPrimary(cfg Config, id, title string, primaries []apps.PrimarySpec, bu
 			LongTermSafeguard: true,
 		}
 	}
-	base, err := harness.Run(mk(id+"-base", harness.NoHarvestFactory()))
+	rows := []policyRow{{"smartharvest", smartharvest()}}
+	for _, k := range buffers {
+		rows = append(rows, policyRow{fmt.Sprintf("fixedbuffer-%d", k), harness.FixedBufferFactory(k)})
+	}
+	scens := []harness.Scenario{mk(id+"-base", harness.NoHarvestFactory())}
+	for _, rw := range rows {
+		scens = append(scens, mk(id+"-"+rw.name, rw.f))
+	}
+	results, err := runAll(cfg, scens)
 	if err != nil {
 		return nil, err
 	}
+
+	r := &Report{ID: id, Title: title}
+	base := results[0]
 	header := fmt.Sprintf("%-18s", "policy")
 	baseline := fmt.Sprintf("%-18s", "noharvest")
 	for i, p := range base.Primaries {
@@ -480,25 +561,11 @@ func multiPrimary(cfg Config, id, title string, primaries []apps.PrimarySpec, bu
 	}
 	r.addf("%s %10s %6s", header, "harvested", "trips")
 	r.addf("%s %10s %6d", baseline, "0.00", 0)
-	rows := []struct {
-		name string
-		f    harness.ControllerFactory
-	}{{"smartharvest", smartharvest()}}
-	for _, k := range buffers {
-		k := k
-		rows = append(rows, struct {
-			name string
-			f    harness.ControllerFactory
-		}{fmt.Sprintf("fixedbuffer-%d", k), harness.FixedBufferFactory(k)})
-	}
-	for _, rw := range rows {
-		res, err := harness.Run(mk(id+"-"+rw.name, rw.f))
-		if err != nil {
-			return nil, err
-		}
+	for i, rw := range rows {
+		res := results[i+1]
 		line := fmt.Sprintf("%-18s", rw.name)
-		for i := range res.Primaries {
-			line += fmt.Sprintf(" %9s %6s", ms(res.P99(i)), pct(res.P99(i), base.P99(i)))
+		for j := range res.Primaries {
+			line += fmt.Sprintf(" %9s %6s", ms(res.P99(j)), pct(res.P99(j), base.P99(j)))
 		}
 		r.addf("%s %10.2f %6d", line, res.AvgHarvestedCores, res.QoSTrips)
 	}
@@ -508,19 +575,25 @@ func multiPrimary(cfg Config, id, title string, primaries []apps.PrimarySpec, bu
 // Fig10 compares the conservative and aggressive short-term safeguards on
 // Memcached + CPUBully.
 func Fig10(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig10", Title: "short-term safeguards (Memcached 40k + CPUBully)"}
-	base, err := harness.Run(scenario(cfg, "fig10-base", apps.Memcached(40000), harness.NoHarvestFactory()))
+	modes := []core.SafeguardMode{core.ConservativeSafeguard, core.AggressiveSafeguard}
+	scens := []harness.Scenario{
+		scenario(cfg, "fig10-base", apps.Memcached(40000), harness.NoHarvestFactory()),
+	}
+	for _, mode := range modes {
+		f := harness.SmartHarvestFactory(core.SmartHarvestOptions{Safeguard: mode})
+		scens = append(scens, scenario(cfg, "fig10-"+mode.String(), apps.Memcached(40000), f))
+	}
+	results, err := runAll(cfg, scens)
 	if err != nil {
 		return nil, err
 	}
+
+	r := &Report{ID: "fig10", Title: "short-term safeguards (Memcached 40k + CPUBully)"}
+	base := results[0]
 	r.addf("%-22s %10s %8s %12s %12s", "safeguard", "P99", "vs base", "harvested", "invocations")
 	r.addf("%-22s %10s %8s %12s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00", "-")
-	for _, mode := range []core.SafeguardMode{core.ConservativeSafeguard, core.AggressiveSafeguard} {
-		f := harness.SmartHarvestFactory(core.SmartHarvestOptions{Safeguard: mode})
-		res, err := harness.Run(scenario(cfg, "fig10-"+mode.String(), apps.Memcached(40000), f))
-		if err != nil {
-			return nil, err
-		}
+	for i, mode := range modes {
+		res := results[i+1]
 		r.addf("%-22s %10s %8s %12.2f %12d",
 			mode.String(), ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
 			res.AvgHarvestedCores, res.Safeguards)
@@ -531,7 +604,6 @@ func Fig10(cfg Config) (*Report, error) {
 // Fig11 shows the long-term safeguard rescuing a hard-to-predict primary
 // mix (two Memcacheds with sharp aperiodic load swings).
 func Fig11(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig11", Title: "long-term safeguard (2x swinging Memcached + CPUBully)"}
 	primaries := []apps.PrimarySpec{apps.MemcachedSwinging(60000), apps.MemcachedSwinging(60000)}
 	mk := func(name string, f harness.ControllerFactory, guard bool) harness.Scenario {
 		return harness.Scenario{
@@ -540,24 +612,29 @@ func Fig11(cfg Config) (*Report, error) {
 			LongTermSafeguard: guard,
 		}
 	}
-	base, err := harness.Run(mk("fig11-base", harness.NoHarvestFactory(), false))
-	if err != nil {
-		return nil, err
-	}
-	r.addf("%-30s %12s %12s %8s %10s %6s", "policy", "vm0 P99", "vm1 P99", "vs base", "harvested", "trips")
-	r.addf("%-30s %12s %12s %8s %10s %6s", "noharvest",
-		ms(base.P99(0)), ms(base.P99(1)), "-", "0.00", "-")
-	for _, rw := range []struct {
+	rows := []struct {
 		name  string
 		guard bool
 	}{
 		{"smartharvest (no long-term)", false},
 		{"smartharvest (long-term)", true},
-	} {
-		res, err := harness.Run(mk("fig11-"+rw.name, smartharvest(), rw.guard))
-		if err != nil {
-			return nil, err
-		}
+	}
+	scens := []harness.Scenario{mk("fig11-base", harness.NoHarvestFactory(), false)}
+	for _, rw := range rows {
+		scens = append(scens, mk("fig11-"+rw.name, smartharvest(), rw.guard))
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "fig11", Title: "long-term safeguard (2x swinging Memcached + CPUBully)"}
+	base := results[0]
+	r.addf("%-30s %12s %12s %8s %10s %6s", "policy", "vm0 P99", "vm1 P99", "vs base", "harvested", "trips")
+	r.addf("%-30s %12s %12s %8s %10s %6s", "noharvest",
+		ms(base.P99(0)), ms(base.P99(1)), "-", "0.00", "-")
+	for i, rw := range rows {
+		res := results[i+1]
 		r.addf("%-30s %12s %12s %8s %10.2f %6d",
 			rw.name, ms(res.P99(0)), ms(res.P99(1)),
 			pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores, res.QoSTrips)
@@ -567,13 +644,6 @@ func Fig11(cfg Config) (*Report, error) {
 
 // Fig13 compares the three cost functions of Figure 12 on Memcached.
 func Fig13(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig13", Title: "cost functions (Memcached 40k + CPUBully)"}
-	base, err := harness.Run(scenario(cfg, "fig13-base", apps.Memcached(40000), harness.NoHarvestFactory()))
-	if err != nil {
-		return nil, err
-	}
-	r.addf("%-15s %10s %8s %12s %12s", "cost", "P99", "vs base", "harvested", "safeguards")
-	r.addf("%-15s %10s %8s %12s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00", "-")
 	costs := []struct {
 		name string
 		opts core.SmartHarvestOptions
@@ -582,12 +652,24 @@ func Fig13(cfg Config) (*Report, error) {
 		{"symmetric", core.SmartHarvestOptions{Cost: learnerSymmetric()}},
 		{"hinged", core.SmartHarvestOptions{Cost: learnerHinged()}},
 	}
+	scens := []harness.Scenario{
+		scenario(cfg, "fig13-base", apps.Memcached(40000), harness.NoHarvestFactory()),
+	}
 	for _, c := range costs {
 		f := harness.SmartHarvestFactory(c.opts)
-		res, err := harness.Run(scenario(cfg, "fig13-"+c.name, apps.Memcached(40000), f))
-		if err != nil {
-			return nil, err
-		}
+		scens = append(scens, scenario(cfg, "fig13-"+c.name, apps.Memcached(40000), f))
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "fig13", Title: "cost functions (Memcached 40k + CPUBully)"}
+	base := results[0]
+	r.addf("%-15s %10s %8s %12s %12s", "cost", "P99", "vs base", "harvested", "safeguards")
+	r.addf("%-15s %10s %8s %12s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00", "-")
+	for i, c := range costs {
+		res := results[i+1]
 		r.addf("%-15s %10s %8s %12.2f %12d",
 			c.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
 			res.AvgHarvestedCores, res.Safeguards)
@@ -605,18 +687,25 @@ func cdfRow(label string, s metrics.Summary) string {
 // mechanisms by running the same harvesting scenario on each and reading
 // the per-core move latencies.
 func Fig14(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig14", Title: "time to grow/shrink the ElasticVM by one core"}
-	r.addf("%-22s %10s %10s %10s %10s", "mechanism/op", "P50", "P95", "P99", "max")
-	for _, mech := range []struct {
+	mechs := []struct {
 		name string
 		m    int
-	}{{"cpugroups", 0}, {"ipis", 1}} {
+	}{{"cpugroups", 0}, {"ipis", 1}}
+	scens := make([]harness.Scenario, len(mechs))
+	for i, mech := range mechs {
 		s := scenario(cfg, "fig14-"+mech.name, apps.Memcached(40000), smartharvest())
 		s.Mechanism = hvMechanism(mech.m)
-		res, err := harness.Run(s)
-		if err != nil {
-			return nil, err
-		}
+		scens[i] = s
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "fig14", Title: "time to grow/shrink the ElasticVM by one core"}
+	r.addf("%-22s %10s %10s %10s %10s", "mechanism/op", "P50", "P95", "P99", "max")
+	for i, mech := range mechs {
+		res := results[i]
 		r.Lines = append(r.Lines,
 			cdfRow(mech.name+" grow", res.Grow),
 			cdfRow(mech.name+" shrink", res.Shrink))
@@ -627,49 +716,65 @@ func Fig14(cfg Config) (*Report, error) {
 			}
 			return out
 		}
-		plot := textplot.Render([]textplot.Series{
+		r.addPlot(textplot.Render([]textplot.Series{
 			{Name: "grow", Glyph: '+', Points: toPoints(res.GrowCDF)},
 			{Name: "shrink", Glyph: '*', Points: toPoints(res.ShrinkCDF)},
 		}, textplot.Options{
 			Title:  fmt.Sprintf("%s: CDF of one-core reassignment latency", mech.name),
 			XLabel: "milliseconds", YLabel: "% of samples", YMin: 0, YMax: 100,
 			Width: 60, Height: 12,
-		})
-		r.Lines = append(r.Lines, strings.Split(strings.TrimRight(plot, "\n"), "\n")...)
+		}))
 	}
 	return r, nil
 }
 
 // Fig15 reproduces the responsiveness-vs-learning comparison: IndexServe
 // at four loads, cpugroups vs IPIs, SmartHarvest vs a fixed-buffer sweep.
+// All four loads (36 scenarios) share one worker pool.
 func Fig15(cfg Config) (*Report, error) {
-	r := &Report{ID: "fig15", Title: "SmartHarvest using cpugroups vs IPIs across IndexServe loads"}
-	for _, qps := range []float64{500, 1000, 1500, 2000} {
+	loads := []float64{500, 1000, 1500, 2000}
+	rows := []policyRow{
+		{"smartharvest", smartharvest()},
+		{"fixedbuffer-6", harness.FixedBufferFactory(6)},
+		{"fixedbuffer-4", harness.FixedBufferFactory(4)},
+		{"fixedbuffer-2", harness.FixedBufferFactory(2)},
+	}
+	type block struct {
+		qps  float64
+		base int
+		idx  [2][]int // per mechanism, per row
+	}
+	var scens []harness.Scenario
+	blocks := make([]block, len(loads))
+	for bi, qps := range loads {
 		spec := apps.IndexServe(qps)
-		base, err := harness.Run(scenario(cfg, "fig15-base", spec, harness.NoHarvestFactory()))
-		if err != nil {
-			return nil, err
-		}
-		r.addf("--- IndexServe (%.0f QPS), no-harvest P99 = %s ---", qps, ms(base.P99(0)))
-		r.addf("%-28s %10s %8s %12s", "config", "P99", "vs base", "harvested")
+		blk := block{qps: qps, base: len(scens)}
+		scens = append(scens, scenario(cfg, "fig15-base", spec, harness.NoHarvestFactory()))
 		for m := 0; m < 2; m++ {
 			mech := hvMechanism(m)
-			rows := []struct {
-				name string
-				f    harness.ControllerFactory
-			}{
-				{"smartharvest", smartharvest()},
-				{"fixedbuffer-6", harness.FixedBufferFactory(6)},
-				{"fixedbuffer-4", harness.FixedBufferFactory(4)},
-				{"fixedbuffer-2", harness.FixedBufferFactory(2)},
-			}
 			for _, rw := range rows {
 				s := scenario(cfg, fmt.Sprintf("fig15-%v-%s", mech, rw.name), spec, rw.f)
 				s.Mechanism = mech
-				res, err := harness.Run(s)
-				if err != nil {
-					return nil, err
-				}
+				blk.idx[m] = append(blk.idx[m], len(scens))
+				scens = append(scens, s)
+			}
+		}
+		blocks[bi] = blk
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "fig15", Title: "SmartHarvest using cpugroups vs IPIs across IndexServe loads"}
+	for _, blk := range blocks {
+		base := results[blk.base]
+		r.addf("--- IndexServe (%.0f QPS), no-harvest P99 = %s ---", blk.qps, ms(base.P99(0)))
+		r.addf("%-28s %10s %8s %12s", "config", "P99", "vs base", "harvested")
+		for m := 0; m < 2; m++ {
+			mech := hvMechanism(m)
+			for i, rw := range rows {
+				res := results[blk.idx[m][i]]
 				r.addf("%-28s %10s %8s %12.2f",
 					fmt.Sprintf("%v %s", mech, rw.name),
 					ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)

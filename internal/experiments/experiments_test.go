@@ -255,3 +255,36 @@ func TestMemHarvestExperiment(t *testing.T) {
 		t.Error("memharvest missing policy rows")
 	}
 }
+
+// TestReportDeterminismAcrossParallelism is the report-level half of the
+// determinism regression: the rendered report lines must be byte-identical
+// whether the scenarios ran serially or on a 4-way worker pool.
+func TestReportDeterminismAcrossParallelism(t *testing.T) {
+	cfg := Quick()
+	cfg.Duration = 3_000_000_000 // 3 simulated seconds keeps this test quick
+
+	// fig4 covers the single-primary sweep shape; table1 covers the
+	// busy-stats path. Both fan out ≥ 4 scenarios.
+	for _, id := range []string{"table1", "fig4"} {
+		run, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		serialCfg := cfg
+		serialCfg.Parallel = 1
+		serial, err := run(serialCfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		parallelCfg := cfg
+		parallelCfg.Parallel = 4
+		parallel, err := run(parallelCfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: report differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}

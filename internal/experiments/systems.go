@@ -73,22 +73,12 @@ func Table3(cfg Config) (*Report, error) {
 
 // Ablations runs the design-choice studies DESIGN.md calls out beyond the
 // paper's figures: the predictor family (CSOAA vs EWMA vs PrevPeak), the
-// polling interval, and the learning rate.
+// feature set, the polling interval, and the learning rate. All four
+// sweeps (18 scenarios) are declared up front and share one worker pool.
 func Ablations(cfg Config) (*Report, error) {
-	r := &Report{ID: "ablation", Title: "design-choice ablations (Memcached 40k + CPUBully)"}
 	spec := apps.Memcached(40000)
-	base, err := harness.Run(scenario(cfg, "abl-base", spec, harness.NoHarvestFactory()))
-	if err != nil {
-		return nil, err
-	}
-	r.addf("no-harvest P99 = %s", ms(base.P99(0)))
 
-	r.addf("-- predictor family --")
-	r.addf("%-22s %10s %8s %12s", "predictor", "P99", "vs base", "harvested")
-	preds := []struct {
-		name string
-		f    harness.ControllerFactory
-	}{
+	preds := []policyRow{
 		{"csoaa (paper)", smartharvest()},
 		{"csoaa adagrad", harness.SmartHarvestFactory(core.SmartHarvestOptions{Adaptive: true})},
 		{"ewma a=0.3 m=1", harness.EWMAFactory(0.3, 1)},
@@ -96,57 +86,81 @@ func Ablations(cfg Config) (*Report, error) {
 		{"prevpeak", harness.PrevPeakFactory(1, false)},
 		{"prevpeak10", harness.PrevPeakFactory(10, true)},
 	}
-	for _, p := range preds {
-		res, err := harness.Run(scenario(cfg, "abl-"+p.name, spec, p.f))
-		if err != nil {
-			return nil, err
+	featureSets := [][]string{
+		nil, // all five
+		{"max"},
+		{"max", "avg"},
+		{"min", "avg", "std", "median"}, // everything except max
+	}
+	featureLabel := func(fs []string) string {
+		if len(fs) == 0 {
+			return "all five"
 		}
+		return strings.Join(fs, "+")
+	}
+	polls := []int{25, 50, 200, 1000}
+	rates := []float64{0.01, 0.1, 0.5}
+
+	scens := []harness.Scenario{scenario(cfg, "abl-base", spec, harness.NoHarvestFactory())}
+	for _, p := range preds {
+		scens = append(scens, scenario(cfg, "abl-"+p.name, spec, p.f))
+	}
+	for _, fs := range featureSets {
+		f := harness.SmartHarvestFactory(core.SmartHarvestOptions{Features: fs})
+		scens = append(scens, scenario(cfg, "abl-feat-"+featureLabel(fs), spec, f))
+	}
+	for _, us := range polls {
+		s := scenario(cfg, fmt.Sprintf("abl-poll-%d", us), spec, smartharvest())
+		s.PollInterval = sim.Time(us) * sim.Microsecond
+		scens = append(scens, s)
+	}
+	for _, lr := range rates {
+		f := harness.SmartHarvestFactory(core.SmartHarvestOptions{LearningRate: lr})
+		scens = append(scens, scenario(cfg, fmt.Sprintf("abl-lr-%v", lr), spec, f))
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "ablation", Title: "design-choice ablations (Memcached 40k + CPUBully)"}
+	base := results[0]
+	next := results[1:]
+	take := func() *harness.Result {
+		res := next[0]
+		next = next[1:]
+		return res
+	}
+	r.addf("no-harvest P99 = %s", ms(base.P99(0)))
+
+	r.addf("-- predictor family --")
+	r.addf("%-22s %10s %8s %12s", "predictor", "P99", "vs base", "harvested")
+	for _, p := range preds {
+		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
 			p.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
 	}
 
 	r.addf("-- feature set --")
 	r.addf("%-22s %10s %8s %12s", "features", "P99", "vs base", "harvested")
-	for _, fs := range [][]string{
-		nil, // all five
-		{"max"},
-		{"max", "avg"},
-		{"min", "avg", "std", "median"}, // everything except max
-	} {
-		label := "all five"
-		if len(fs) > 0 {
-			label = strings.Join(fs, "+")
-		}
-		f := harness.SmartHarvestFactory(core.SmartHarvestOptions{Features: fs})
-		res, err := harness.Run(scenario(cfg, "abl-feat-"+label, spec, f))
-		if err != nil {
-			return nil, err
-		}
+	for _, fs := range featureSets {
+		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
-			label, ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+			featureLabel(fs), ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
 	}
 
 	r.addf("-- polling interval --")
 	r.addf("%-22s %10s %8s %12s", "interval", "P99", "vs base", "harvested")
-	for _, us := range []int{25, 50, 200, 1000} {
-		s := scenario(cfg, fmt.Sprintf("abl-poll-%d", us), spec, smartharvest())
-		s.PollInterval = sim.Time(us) * sim.Microsecond
-		res, err := harness.Run(s)
-		if err != nil {
-			return nil, err
-		}
+	for _, us := range polls {
+		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
 			fmt.Sprintf("%dus", us), ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
 	}
 
 	r.addf("-- learning rate --")
 	r.addf("%-22s %10s %8s %12s", "rate", "P99", "vs base", "harvested")
-	for _, lr := range []float64{0.01, 0.1, 0.5} {
-		f := harness.SmartHarvestFactory(core.SmartHarvestOptions{LearningRate: lr})
-		res, err := harness.Run(scenario(cfg, fmt.Sprintf("abl-lr-%v", lr), spec, f))
-		if err != nil {
-			return nil, err
-		}
+	for _, lr := range rates {
+		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
 			fmt.Sprintf("%.2f", lr), ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
 	}
@@ -176,10 +190,11 @@ func Churn(cfg Config) (*Report, error) {
 			{At: cfg.Warmup + 2*third, Depart: 0},
 		},
 	}
-	res, err := harness.Run(s)
+	results, err := runAll(cfg, []harness.Scenario{s})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	r.addf("phase 1 (tenant A alone), phase 2 (A+B), phase 3 (B alone; A's cores unallocated)")
 	r.addf("%-12s %14s %14s", "tenant", "P99", "requests")
 	for _, p := range res.Primaries {
@@ -242,55 +257,63 @@ func Fleet(cfg Config) (*Report, error) {
 // real damage). This is the calibration study behind DESIGN.md's guard
 // discussion.
 func SafeguardSweep(cfg Config) (*Report, error) {
-	r := &Report{ID: "guard-sweep", Title: "long-term safeguard sensitivity"}
-	sweep := func(title string, primaries []apps.PrimarySpec) error {
+	criteria := []struct {
+		thresh sim.Time
+		frac   float64
+	}{
+		{25 * sim.Microsecond, 0.002},
+		{50 * sim.Microsecond, 0.01},
+		{200 * sim.Microsecond, 0.01},
+		{500 * sim.Microsecond, 0.05},
+	}
+	sweeps := []struct {
+		title     string
+		primaries []apps.PrimarySpec
+	}{
+		{"healthy ms-scale tenant (IndexServe 500), strictness costs harvest",
+			[]apps.PrimarySpec{apps.IndexServe(500)}},
+		{"chronic swings (2x MemcachedSwinging 60k), laxness misses damage",
+			[]apps.PrimarySpec{apps.MemcachedSwinging(60000), apps.MemcachedSwinging(60000)}},
+	}
+
+	// Per sweep: base, guard-off, then one scenario per trip criterion.
+	perSweep := 2 + len(criteria)
+	var scens []harness.Scenario
+	for _, sw := range sweeps {
 		mk := func(thresh sim.Time, frac float64, guard bool, ctrl harness.ControllerFactory) harness.Scenario {
 			return harness.Scenario{
-				Name: "guard-sweep", Primaries: primaries, Batch: harness.BatchCPUBully,
+				Name: "guard-sweep", Primaries: sw.primaries, Batch: harness.BatchCPUBully,
 				Controller: ctrl, Duration: cfg.Duration, Warmup: cfg.Warmup,
 				Seed: cfg.Seed, LongTermSafeguard: guard,
 				QoSWaitThreshold: thresh, QoSViolationFrac: frac,
 			}
 		}
-		baseRes, err := harness.Run(mk(0, 0, false, harness.NoHarvestFactory()))
-		if err != nil {
-			return err
+		scens = append(scens, mk(0, 0, false, harness.NoHarvestFactory()))
+		scens = append(scens, mk(0, 0, false, smartharvest()))
+		for _, c := range criteria {
+			scens = append(scens, mk(c.thresh, c.frac, true, smartharvest()))
 		}
-		r.addf("-- %s: no-harvest P99 = %s --", title, ms(baseRes.P99(0)))
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "guard-sweep", Title: "long-term safeguard sensitivity"}
+	for si, sw := range sweeps {
+		block := results[si*perSweep : (si+1)*perSweep]
+		baseRes, off := block[0], block[1]
+		r.addf("-- %s: no-harvest P99 = %s --", sw.title, ms(baseRes.P99(0)))
 		r.addf("%-24s %10s %8s %10s %6s", "threshold/frac", "P99", "vs base", "harvested", "trips")
-		off, err := harness.Run(mk(0, 0, false, smartharvest()))
-		if err != nil {
-			return err
-		}
 		r.addf("%-24s %10s %8s %10.2f %6s", "guard off",
 			ms(off.P99(0)), pct(off.P99(0), baseRes.P99(0)), off.AvgHarvestedCores, "-")
-		for _, c := range []struct {
-			thresh sim.Time
-			frac   float64
-		}{
-			{25 * sim.Microsecond, 0.002},
-			{50 * sim.Microsecond, 0.01},
-			{200 * sim.Microsecond, 0.01},
-			{500 * sim.Microsecond, 0.05},
-		} {
-			res, err := harness.Run(mk(c.thresh, c.frac, true, smartharvest()))
-			if err != nil {
-				return err
-			}
+		for ci, c := range criteria {
+			res := block[2+ci]
 			r.addf("%-24s %10s %8s %10.2f %6d",
 				fmt.Sprintf("%dus / %.1f%%", int(c.thresh.Microseconds()), c.frac*100),
 				ms(res.P99(0)), pct(res.P99(0), baseRes.P99(0)),
 				res.AvgHarvestedCores, res.QoSTrips)
 		}
-		return nil
-	}
-	if err := sweep("healthy ms-scale tenant (IndexServe 500), strictness costs harvest",
-		[]apps.PrimarySpec{apps.IndexServe(500)}); err != nil {
-		return nil, err
-	}
-	if err := sweep("chronic swings (2x MemcachedSwinging 60k), laxness misses damage",
-		[]apps.PrimarySpec{apps.MemcachedSwinging(60000), apps.MemcachedSwinging(60000)}); err != nil {
-		return nil, err
 	}
 	return r, nil
 }

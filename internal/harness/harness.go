@@ -220,7 +220,7 @@ func (s *Scenario) validate() error {
 // concurrent primary allocation the machine must be able to host.
 func (s *Scenario) maxConcurrentAlloc() (int, error) {
 	count := len(s.Primaries)
-	max := count
+	peak := count
 	total := count
 	events := append([]ChurnEvent(nil), s.Churn...)
 	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
@@ -228,9 +228,7 @@ func (s *Scenario) maxConcurrentAlloc() (int, error) {
 		if ev.Arrive != nil {
 			count++
 			total++
-			if count > max {
-				max = count
-			}
+			peak = max(peak, count)
 		}
 		if ev.Depart >= 0 {
 			if ev.Depart >= total {
@@ -242,7 +240,7 @@ func (s *Scenario) maxConcurrentAlloc() (int, error) {
 			}
 		}
 	}
-	return max * s.PrimaryVMCores, nil
+	return peak * s.PrimaryVMCores, nil
 }
 
 // Run executes the scenario and returns its results.
@@ -471,6 +469,7 @@ func Run(s Scenario) (*Result, error) {
 		res.PeakSeries = agent.PeakSeries()
 		res.QoSViolations = agent.QoSViolationSeries()
 	}
+	simTimeExecuted.Add(int64(loop.Now()))
 	return res, nil
 }
 
@@ -480,7 +479,9 @@ func (r *Result) P99(i int) int64 { return r.Primaries[i].Latency.P99 }
 // RunSpeedup runs the scenario twice — once with the given policy and
 // once with NoHarvest (ElasticVM pinned to its minimum, which defaults to
 // one core) — and returns the batch job's completion-time speedup, as in
-// the paper's Figure 6.
+// the paper's Figure 6. Callers that want the two runs on the RunAll
+// worker pool can instead declare the pair (s, BaselineScenario(s)) and
+// combine the results with Speedup.
 func RunSpeedup(s Scenario) (speedup float64, with, baseline *Result, err error) {
 	if s.Batch != BatchHDInsight && s.Batch != BatchTeraSort {
 		return 0, nil, nil, fmt.Errorf("harness: speedup needs a finite batch job")
@@ -489,19 +490,15 @@ func RunSpeedup(s Scenario) (speedup float64, with, baseline *Result, err error)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	base := s
-	base.Name = s.Name + "-baseline"
-	base.Controller = func(alloc int) core.Controller { return core.NewNoHarvest(alloc) }
-	base.LongTermSafeguard = false
-	baseline, err = Run(base)
+	baseline, err = Run(BaselineScenario(s))
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	if !with.BatchFinished || !baseline.BatchFinished {
-		return 0, with, baseline, fmt.Errorf("harness: batch job did not finish (with=%v baseline=%v)",
-			with.BatchFinished, baseline.BatchFinished)
+	speedup, err = Speedup(with, baseline)
+	if err != nil {
+		return 0, with, baseline, err
 	}
-	return float64(baseline.BatchTime) / float64(with.BatchTime), with, baseline, nil
+	return speedup, with, baseline, nil
 }
 
 // Controllers — convenience factories for the standard policies.

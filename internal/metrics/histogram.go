@@ -8,7 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Histogram records int64 values (typically latencies in nanoseconds) into
@@ -285,25 +286,29 @@ func (h *Histogram) Summarize() Summary {
 	}
 }
 
+// quantileScratch recycles the sort buffer ExactQuantile copies samples
+// into. A sync.Pool (rather than a package-level slice) keeps the
+// function safe under harness.RunAll's concurrent scenario workers.
+var quantileScratch = sync.Pool{New: func() any { return new([]int64) }}
+
 // ExactQuantile computes the nearest-rank q-quantile of a raw sample slice.
 // It is used by tests to validate Histogram and by small-sample paths (the
-// long-term safeguard's 500 ms windows) where exactness is cheap.
+// long-term safeguard's 500 ms windows) where exactness is cheap. The
+// input is never mutated; the sorted copy lives in a reused scratch
+// buffer, so steady-state calls do not allocate.
 func ExactQuantile(samples []int64, q float64) int64 {
 	if len(samples) == 0 {
 		return 0
 	}
-	s := make([]int64, len(samples))
-	copy(s, samples)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	if q <= 0 {
-		return s[0]
+	bufp := quantileScratch.Get().(*[]int64)
+	s := append((*bufp)[:0], samples...)
+	slices.Sort(s)
+	v := s[len(s)-1]
+	if q < 1 {
+		rank := max(int(math.Ceil(q*float64(len(s)))), 1)
+		v = s[rank-1]
 	}
-	if q >= 1 {
-		return s[len(s)-1]
-	}
-	rank := int(math.Ceil(q * float64(len(s))))
-	if rank < 1 {
-		rank = 1
-	}
-	return s[rank-1]
+	*bufp = s
+	quantileScratch.Put(bufp)
+	return v
 }

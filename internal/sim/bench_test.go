@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkLoop measures the schedule-and-fire churn typical of the
+// simulator's scheduling events: a small standing queue with events
+// constantly added and popped.
+func BenchmarkLoop(b *testing.B) {
+	l := NewLoop()
+	fn := func() {}
+	// Standing backlog so pops exercise the heap, not the trivial
+	// single-element case.
+	for i := 0; i < 64; i++ {
+		l.After(Time(i+1)*Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.After(100*Microsecond, fn)
+		l.Step()
+	}
+}
+
+// BenchmarkTicker measures one tick of the 50 µs busy-poll ticker that
+// dominates every agent run (~20,000 fires per simulated second).
+func BenchmarkTicker(b *testing.B) {
+	l := NewLoop()
+	ticks := 0
+	l.NewTicker(0, 50*Microsecond, func() { ticks++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.RunUntil(l.Now() + 50*Microsecond)
+	}
+	if ticks < b.N {
+		b.Fatalf("ticks = %d, want >= %d", ticks, b.N)
+	}
+}
+
+// BenchmarkCancel measures the schedule-then-cancel pattern used by
+// timeout-style events that almost never fire.
+func BenchmarkCancel(b *testing.B) {
+	l := NewLoop()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := l.After(Millisecond, fn)
+		l.Cancel(e)
+	}
+}

@@ -4,10 +4,16 @@
 //
 // Nothing in the simulator sleeps or reads the wall clock; experiments are
 // pure functions of their configuration and seed.
+//
+// The event loop is on the hot path of every experiment (a busy-poll
+// ticker alone fires ~20,000 events per simulated second per agent), so
+// the queue is a hand-rolled binary heap — no container/heap interface
+// round-trips or `any` boxing — and fired or canceled events are recycled
+// through a per-Loop free list instead of being left to the garbage
+// collector.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -44,55 +50,45 @@ func (t Time) String() string { return time.Duration(t).String() }
 
 // Event is a scheduled callback. The zero value is invalid; events are
 // created through Loop.At and Loop.After.
+//
+// An *Event is owned by its Loop and is only valid while the event is
+// pending: once it fires or is canceled the Loop may recycle the struct
+// for a later At/After. Callers that retain an *Event across callbacks
+// must drop (nil) their reference when the event fires or immediately
+// after canceling it, and must not call Cancel through a reference that
+// may already have fired.
 type Event struct {
 	when Time
 	seq  uint64 // tie-break: FIFO among events at the same instant
 	fn   func()
-	idx  int // heap index; -1 once removed
+	idx  int // heap index; -1 once fired/canceled
 }
 
 // When returns the virtual time at which the event fires (or fired).
 func (e *Event) When() Time { return e.when }
 
 // Canceled reports whether the event has been removed from the queue,
-// either by firing or by Cancel.
+// either by firing or by Cancel. It is only meaningful while the caller
+// still owns the event (see the Event doc comment on recycling).
 func (e *Event) Canceled() bool { return e.idx < 0 }
 
-// eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+// before reports whether a fires ahead of b: earlier time first, FIFO
+// among events at the same instant.
+func (a *Event) before(b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Loop is the event loop. It is single-threaded: all callbacks run on the
-// goroutine that calls Run/Step, in deterministic order.
+// goroutine that calls Run/Step, in deterministic order. Distinct Loops
+// share no state, so independent simulations can run on concurrent
+// goroutines (see internal/harness.RunAll).
 type Loop struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event // binary min-heap ordered by (when, seq)
+	free    []*Event // recycled events, reused by At/After
 	nextSeq uint64
 	fired   uint64
 }
@@ -119,9 +115,8 @@ func (l *Loop) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	e := &Event{when: t, seq: l.nextSeq, fn: fn}
-	l.nextSeq++
-	heap.Push(&l.queue, e)
+	e := l.alloc(t, fn)
+	l.push(e)
 	return e
 }
 
@@ -133,15 +128,141 @@ func (l *Loop) After(d Time, fn func()) *Event {
 	return l.At(l.now+d, fn)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel removes a pending event and recycles it. Canceling nil, or an
+// event that already fired or was already canceled (and has not been
+// recycled since — see the Event doc comment), is a no-op.
 func (l *Loop) Cancel(e *Event) {
 	if e == nil || e.idx < 0 {
 		return
 	}
-	heap.Remove(&l.queue, e.idx)
+	l.removeAt(e.idx)
 	e.idx = -1
+	l.recycle(e)
+}
+
+// alloc takes an event from the free list (or the heap allocator) and
+// initializes it for scheduling.
+func (l *Loop) alloc(t Time, fn func()) *Event {
+	var e *Event
+	if n := len(l.free); n > 0 {
+		e = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		e = new(Event)
+	}
+	e.when = t
+	e.seq = l.nextSeq
+	e.fn = fn
+	l.nextSeq++
+	return e
+}
+
+// recycle returns a detached (idx < 0) event to the free list.
+func (l *Loop) recycle(e *Event) {
 	e.fn = nil
+	l.free = append(l.free, e)
+}
+
+// rearm re-schedules an event that just fired (idx < 0, not yet
+// recycled) without going through the free list. Used by Ticker so each
+// tick reuses the same Event.
+func (l *Loop) rearm(e *Event, t Time, fn func()) {
+	e.when = t
+	e.seq = l.nextSeq
+	e.fn = fn
+	l.nextSeq++
+	l.push(e)
+}
+
+// push inserts e into the heap.
+func (l *Loop) push(e *Event) {
+	l.queue = append(l.queue, e)
+	l.siftUp(len(l.queue)-1, e)
+}
+
+// popFront removes and returns the earliest event, marking it detached.
+func (l *Loop) popFront() *Event {
+	q := l.queue
+	e := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	l.queue = q[:n]
+	if n > 0 {
+		l.siftDown(0, last)
+	}
+	e.idx = -1
+	return e
+}
+
+// removeAt deletes the event at heap index i.
+func (l *Loop) removeAt(i int) {
+	q := l.queue
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	l.queue = q[:n]
+	if i == n {
+		return
+	}
+	// Re-place the displaced last element; it may need to move either way.
+	l.siftDown(i, last)
+	if l.queue[i] == last {
+		l.siftUp(i, last)
+	}
+}
+
+// siftUp places e at index i and restores heap order toward the root.
+func (l *Loop) siftUp(i int, e *Event) {
+	q := l.queue
+	for i > 0 {
+		p := (i - 1) / 2
+		if !e.before(q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].idx = i
+		i = p
+	}
+	q[i] = e
+	e.idx = i
+}
+
+// siftDown places e at index i and restores heap order toward the leaves.
+func (l *Loop) siftDown(i int, e *Event) {
+	q := l.queue
+	n := len(q)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && q[r].before(q[c]) {
+			c = r
+		}
+		if !q[c].before(e) {
+			break
+		}
+		q[i] = q[c]
+		q[i].idx = i
+		i = c
+	}
+	q[i] = e
+	e.idx = i
+}
+
+// step fires the earliest pending event. The queue must be non-empty.
+func (l *Loop) step() {
+	e := l.popFront()
+	l.now = e.when
+	fn := e.fn
+	e.fn = nil
+	l.fired++
+	fn()
+	if e.idx < 0 { // not re-armed by the callback (Ticker re-arms)
+		l.recycle(e)
+	}
 }
 
 // Step executes the next pending event, advancing the clock to its time.
@@ -150,12 +271,7 @@ func (l *Loop) Step() bool {
 	if len(l.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&l.queue).(*Event)
-	l.now = e.when
-	fn := e.fn
-	e.fn = nil
-	l.fired++
-	fn()
+	l.step()
 	return true
 }
 
@@ -163,7 +279,7 @@ func (l *Loop) Step() bool {
 // clock to exactly end. Events scheduled at exactly end do run.
 func (l *Loop) RunUntil(end Time) {
 	for len(l.queue) > 0 && l.queue[0].when <= end {
-		l.Step()
+		l.step()
 	}
 	if l.now < end {
 		l.now = end
@@ -172,18 +288,20 @@ func (l *Loop) RunUntil(end Time) {
 
 // Run executes events until the queue is empty.
 func (l *Loop) Run() {
-	for l.Step() {
+	for len(l.queue) > 0 {
+		l.step()
 	}
 }
 
 // Ticker invokes fn every interval until stopped, starting at start.
-// It reschedules itself after each invocation so that canceling is cheap
-// and intervals can be changed between ticks.
+// Each tick reuses the ticker's single Event, so a long-running ticker
+// performs no per-tick allocation.
 type Ticker struct {
 	loop     *Loop
 	interval Time
 	fn       func()
 	ev       *Event
+	tickFn   func() // t.tick bound once; avoids a per-tick method-value alloc
 	stopped  bool
 }
 
@@ -193,7 +311,8 @@ func (l *Loop) NewTicker(start, interval Time, fn func()) *Ticker {
 		panic("sim: non-positive ticker interval")
 	}
 	t := &Ticker{loop: l, interval: interval, fn: fn}
-	t.ev = l.At(start, t.tick)
+	t.tickFn = t.tick
+	t.ev = l.At(start, t.tickFn)
 	return t
 }
 
@@ -203,11 +322,19 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if !t.stopped { // fn may have called Stop
-		t.ev = t.loop.After(t.interval, t.tick)
+		// The tick event has just fired and is detached; re-arm it in
+		// place rather than allocating a fresh event.
+		t.loop.rearm(t.ev, t.loop.now+t.interval, t.tickFn)
 	}
 }
 
-// SetInterval changes the interval used for subsequent ticks.
+// SetInterval changes the interval used for subsequent reschedules.
+//
+// Contract: the change only affects the *next* reschedule. A tick that
+// is already pending fires at its originally scheduled time; the first
+// tick after that pending one is the first to use the new interval.
+// Called from inside the tick callback, the new interval therefore takes
+// effect immediately (the next tick is scheduled after fn returns).
 func (t *Ticker) SetInterval(interval Time) {
 	if interval <= 0 {
 		panic("sim: non-positive ticker interval")

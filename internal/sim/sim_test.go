@@ -229,6 +229,184 @@ func TestTickerSetInterval(t *testing.T) {
 	}
 }
 
+func TestEventRecycling(t *testing.T) {
+	l := NewLoop()
+	e1 := l.After(Microsecond, func() {})
+	l.Run()
+	// The fired event goes back to the free list and is reused by the
+	// next schedule (white-box: same pointer, fresh identity).
+	e2 := l.After(Microsecond, func() {})
+	if e1 != e2 {
+		t.Fatal("fired event was not recycled")
+	}
+	if e2.Canceled() {
+		t.Fatal("recycled event should be pending again")
+	}
+	fired := false
+	e3 := l.After(Microsecond, func() { fired = true })
+	if e3 == e2 {
+		t.Fatal("pending event handed out twice")
+	}
+	l.Run()
+	if !fired {
+		t.Fatal("recycled-era event did not fire")
+	}
+}
+
+func TestCanceledEventRecycled(t *testing.T) {
+	l := NewLoop()
+	e := l.After(Millisecond, func() { t.Fatal("canceled event fired") })
+	l.Cancel(e)
+	reused := l.After(Microsecond, func() {})
+	if reused != e {
+		t.Fatal("canceled event was not recycled")
+	}
+	l.Run()
+}
+
+func TestStepsNoAllocSteadyState(t *testing.T) {
+	l := NewLoop()
+	fn := func() {}
+	// Prime the free list.
+	l.After(Microsecond, fn)
+	l.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.After(Microsecond, fn)
+		l.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule+fire allocates %v objects/op", allocs)
+	}
+}
+
+func TestTickerNoAllocPerTick(t *testing.T) {
+	l := NewLoop()
+	ticks := 0
+	l.NewTicker(0, 50*Microsecond, func() { ticks++ })
+	l.RunUntil(Millisecond) // settle
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.RunUntil(l.Now() + 50*Microsecond)
+	})
+	if allocs > 0 {
+		t.Fatalf("ticker allocates %v objects per tick", allocs)
+	}
+	if ticks == 0 {
+		t.Fatal("ticker never ticked")
+	}
+}
+
+// TestTickerStopInsideTick pins the Stop-inside-tick edge of the event
+// reuse scheme: the tick event must be recycled exactly once, and later
+// schedules must not resurrect the ticker.
+func TestTickerStopInsideTick(t *testing.T) {
+	l := NewLoop()
+	count := 0
+	var tk *Ticker
+	tk = l.NewTicker(0, Millisecond, func() {
+		count++
+		tk.Stop()
+	})
+	l.Run()
+	if count != 1 {
+		t.Fatalf("ticks after Stop-inside-tick: %d", count)
+	}
+	// The recycled tick event must be a fresh, unrelated event now.
+	fired := false
+	l.After(Microsecond, func() { fired = true })
+	l.Run()
+	if !fired || count != 1 {
+		t.Fatalf("recycled tick event misbehaved: fired=%v count=%d", fired, count)
+	}
+}
+
+// TestTickerSetIntervalPendingUnaffected pins the SetInterval contract:
+// the change applies from the next reschedule; a tick already pending
+// fires at its originally scheduled time.
+func TestTickerSetIntervalPendingUnaffected(t *testing.T) {
+	l := NewLoop()
+	var ticks []Time
+	tk := l.NewTicker(0, 2*Millisecond, func() { ticks = append(ticks, l.Now()) })
+	// After the t=0 tick, a tick is pending at t=2ms. Changing the
+	// interval at t=1ms must not move it.
+	l.At(Millisecond, func() { tk.SetInterval(5 * Millisecond) })
+	l.RunUntil(8 * Millisecond)
+	tk.Stop()
+	want := []Time{0, 2 * Millisecond, 7 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+// TestTickerSetIntervalInsideTick pins the other half of the contract:
+// from inside the callback the new interval takes effect immediately,
+// because the next tick is scheduled after the callback returns.
+func TestTickerSetIntervalInsideTick(t *testing.T) {
+	l := NewLoop()
+	var ticks []Time
+	var tk *Ticker
+	tk = l.NewTicker(0, Millisecond, func() {
+		ticks = append(ticks, l.Now())
+		if len(ticks) == 1 {
+			tk.SetInterval(3 * Millisecond)
+		}
+	})
+	l.RunUntil(7 * Millisecond)
+	tk.Stop()
+	want := []Time{0, 3 * Millisecond, 6 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+// Property: interleaved scheduling, canceling, and firing keeps the heap
+// consistent and events in order even with recycling.
+func TestRecyclingOrderProperty(t *testing.T) {
+	if err := quick.Check(func(offsets []uint16, cancelMask []bool) bool {
+		l := NewLoop()
+		var fired []Time
+		var events []*Event
+		for _, off := range offsets {
+			tm := l.Now() + Time(off)*Microsecond
+			events = append(events, l.At(tm, func() { fired = append(fired, l.Now()) }))
+		}
+		canceled := 0
+		for i, e := range events {
+			if i < len(cancelMask) && cancelMask[i] {
+				l.Cancel(e)
+				canceled++
+			}
+		}
+		// Schedule more events after cancels so recycled structs get
+		// reused mid-run.
+		for _, off := range offsets {
+			tm := l.Now() + Time(off)*Microsecond
+			l.At(tm, func() { fired = append(fired, l.Now()) })
+		}
+		l.Run()
+		if len(fired) != 2*len(offsets)-canceled {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDurationConversions(t *testing.T) {
 	if Duration(time.Millisecond) != Millisecond {
 		t.Fatal("Duration conversion wrong")

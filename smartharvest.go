@@ -122,6 +122,21 @@ const (
 // results. Runs are deterministic given Scenario.Seed.
 func Run(s Scenario) (*Result, error) { return harness.Run(s) }
 
+// RunOption configures RunAll.
+type RunOption = harness.RunOption
+
+// Parallelism bounds RunAll's worker pool; 0 or less means GOMAXPROCS.
+func Parallelism(n int) RunOption { return harness.Parallelism(n) }
+
+// RunAll executes scenarios concurrently on a bounded worker pool and
+// returns results in input order. Each scenario is an independent
+// simulation, so results are identical to running them serially; errors
+// for individual scenarios are joined and reported together, with the
+// corresponding result slots left nil.
+func RunAll(scenarios []Scenario, opts ...RunOption) ([]*Result, error) {
+	return harness.RunAll(scenarios, opts...)
+}
+
 // RunSpeedup runs the scenario twice — with its policy and with
 // NoHarvest — and returns the batch job's completion-time speedup (the
 // paper's Figure 6 metric).
