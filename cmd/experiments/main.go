@@ -25,6 +25,9 @@
 //	           (default 0 = GOMAXPROCS; 1 = fully serial)
 //	-quick     shortcut for -duration 6s
 //	-out DIR   also write <DIR>/<id>.txt
+//	-trace DIR write one JSONL event trace per scenario into DIR
+//	           (poll samples omitted; see internal/obs). Traces are
+//	           byte-identical at any -parallel setting.
 //	-list      list experiment IDs and exit
 package main
 
@@ -59,6 +62,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "scenario/experiment worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	quick := flag.Bool("quick", false, "short runs (6s simulated)")
 	outDir := flag.String("out", "", "directory to also write per-experiment reports to")
+	traceDir := flag.String("trace", "", "directory to write per-scenario JSONL event traces to")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -74,9 +78,16 @@ func main() {
 		Warmup:   sim.Duration(*warmup),
 		Seed:     *seed,
 		Parallel: *parallel,
+		TraceDir: *traceDir,
 	}
 	if *quick {
 		cfg.Duration = 6 * sim.Second
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	ids := flag.Args()

@@ -105,21 +105,6 @@ func parsePolicy(spec string) (smartharvest.ControllerFactory, error) {
 	}
 }
 
-func parseBatch(name string) (smartharvest.BatchKind, error) {
-	switch name {
-	case "cpubully":
-		return smartharvest.BatchCPUBully, nil
-	case "hdinsight":
-		return smartharvest.BatchHDInsight, nil
-	case "terasort":
-		return smartharvest.BatchTeraSort, nil
-	case "none":
-		return smartharvest.BatchNone, nil
-	default:
-		return 0, fmt.Errorf("unknown batch workload %q", name)
-	}
-}
-
 func fmtNS(ns int64) string { return sim.Time(ns).String() }
 
 func main() {
@@ -133,6 +118,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	guard := flag.Bool("long-term-safeguard", true, "enable the long-term QoS safeguard")
 	speedup := flag.Bool("speedup", false, "also run a NoHarvest baseline and report the batch speedup")
+	trace := flag.String("trace", "", "write a JSONL event trace of the run to this file (poll samples included)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -155,18 +141,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	batchKind, err := parseBatch(*batch)
+	batchKind, err := smartharvest.ParseBatchKind(*batch)
 	if err != nil {
 		fail(err)
 	}
-	var mech smartharvest.Mechanism
-	switch *mechanism {
-	case "cpugroups":
-		mech = smartharvest.CpuGroups
-	case "ipis":
-		mech = smartharvest.IPI
-	default:
-		fail(fmt.Errorf("unknown mechanism %q", *mechanism))
+	mech, err := smartharvest.ParseMechanism(*mechanism)
+	if err != nil {
+		fail(err)
 	}
 
 	s := smartharvest.Scenario{
@@ -179,6 +160,23 @@ func main() {
 		Warmup:            sim.Duration(*warmup),
 		Seed:              *seed,
 		LongTermSafeguard: *guard,
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		sink := smartharvest.TraceWriter(f)
+		defer func() {
+			if err := sink.Flush(); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		s.Observer = sink
 	}
 
 	start := time.Now()

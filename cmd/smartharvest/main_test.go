@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"smartharvest"
+)
 
 func TestParsePrimary(t *testing.T) {
 	cases := []struct {
@@ -69,11 +73,16 @@ func TestParsePolicy(t *testing.T) {
 
 func TestParseBatch(t *testing.T) {
 	for _, in := range []string{"cpubully", "hdinsight", "terasort", "none"} {
-		if _, err := parseBatch(in); err != nil {
-			t.Errorf("parseBatch(%q): %v", in, err)
+		kind, err := smartharvest.ParseBatchKind(in)
+		if err != nil {
+			t.Errorf("ParseBatchKind(%q): %v", in, err)
+			continue
+		}
+		if kind.String() != in {
+			t.Errorf("ParseBatchKind(%q).String() = %q", in, kind.String())
 		}
 	}
-	if _, err := parseBatch("nope"); err == nil {
-		t.Error("parseBatch accepted junk")
+	if _, err := smartharvest.ParseBatchKind("nope"); err == nil {
+		t.Error("ParseBatchKind accepted junk")
 	}
 }

@@ -61,6 +61,31 @@ func (h halfPolicy) OnWindowEnd(smartharvest.Window) int { return h.target }
 func (h halfPolicy) OnPoll(busy, cur int) (int, bool)    { return 0, false }
 func (h halfPolicy) Safeguards() bool                    { return false }
 
+// ExampleWithObserver attaches an aggregating observer to a run. The
+// Metrics sink counts every event kind; a Ring or TraceWriter can be
+// swapped in the same way for buffered records or a JSONL stream.
+func ExampleWithObserver() {
+	m := smartharvest.EventMetrics()
+	res, err := smartharvest.Run(smartharvest.Scenario{
+		Name:      "observed",
+		Primaries: []smartharvest.PrimarySpec{smartharvest.Memcached(40000)},
+		Duration:  5 * smartharvest.Second,
+		Warmup:    smartharvest.Second,
+		Seed:      42,
+	}, smartharvest.WithObserver(m))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("window events match result: %v\n", m.Windows == res.Windows)
+	fmt.Printf("saw poll samples: %v\n", m.Polls > 1000)
+	fmt.Printf("resizes observed: %v\n", m.Resizes == res.Resizes)
+	// Output:
+	// window events match result: true
+	// saw poll samples: true
+	// resizes observed: true
+}
+
 // ExampleRunSpeedup measures how much faster a batch job finishes on
 // harvested cores than on the ElasticVM's guaranteed minimum.
 func ExampleRunSpeedup() {

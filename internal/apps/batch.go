@@ -75,6 +75,7 @@ type BatchJob struct {
 	finished    bool
 	finishedAt  sim.Time
 	onDone      func(sim.Time)
+	onPhase     func(phase, phases int, finished bool)
 }
 
 // NewBatchJob builds a job; onDone (optional) fires with the completion
@@ -106,6 +107,19 @@ func NewBatchJob(name string, loop *sim.Loop, vm *hypervisor.VM, phases []BatchP
 // Name returns the job's name.
 func (j *BatchJob) Name() string { return j.name }
 
+// NumPhases returns how many phases the job has.
+func (j *BatchJob) NumPhases() int { return len(j.phases) }
+
+// SetPhaseHook registers fn to run at every phase boundary: once when
+// each phase starts (phase is 0-based), and a final time with
+// phase == phases and finished set. Must be called before Start.
+func (j *BatchJob) SetPhaseHook(fn func(phase, phases int, finished bool)) {
+	if j.started {
+		panic("apps: SetPhaseHook after Start")
+	}
+	j.onPhase = fn
+}
+
 // Finished reports completion; FinishedAt is valid once true.
 func (j *BatchJob) Finished() bool { return j.finished }
 
@@ -127,10 +141,16 @@ func (j *BatchJob) nextPhase() {
 	if j.cur >= len(j.phases) {
 		j.finished = true
 		j.finishedAt = j.loop.Now()
+		if j.onPhase != nil {
+			j.onPhase(j.cur, len(j.phases), true)
+		}
 		if j.onDone != nil {
 			j.onDone(j.finishedAt)
 		}
 		return
+	}
+	if j.onPhase != nil {
+		j.onPhase(j.cur, len(j.phases), false)
 	}
 	p := j.phases[j.cur]
 	switch p.Kind {

@@ -16,8 +16,11 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"smartharvest/internal/metrics"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
 
@@ -112,6 +115,11 @@ type Config struct {
 	// RecordSeries enables per-window time-series recording (allocation
 	// and observed peak), used by Figure 7.
 	RecordSeries bool
+
+	// Observer receives the agent's event stream (polls, window
+	// decisions, safeguard and QoS trips). Nil disables observation; the
+	// hot path then performs no interface calls and no allocations.
+	Observer obs.Observer
 }
 
 // DefaultConfig returns the paper's tuned parameters for a machine with
@@ -171,13 +179,15 @@ type Agent struct {
 	cfg  Config
 	ctrl Controller
 
-	target      int // primary cores currently requested
-	samples     []int
-	windowEnd   sim.Time
-	peaks       []windowPeak
-	pausedUntil sim.Time // long-term safeguard cool-down end
-	qosStrikes  int
-	started     bool
+	target        int // primary cores currently requested
+	samples       []int
+	windowEnd     sim.Time
+	peaks         []windowPeak
+	pausedUntil   sim.Time // long-term safeguard cool-down end
+	qosStrikes    int
+	started       bool
+	resumePending bool  // a QoSResume event is owed once the pause expires
+	sortScratch   []int // reused for the observer's median computation
 
 	// Stats.
 	windows       uint64
@@ -309,6 +319,9 @@ func (a *Agent) schedulePoll() {
 func (a *Agent) poll() {
 	busy := a.hv.BusyPrimaryCores()
 	a.samples = append(a.samples, busy)
+	if o := a.cfg.Observer; o != nil {
+		o.OnPollSample(obs.PollSample{At: a.loop.Now(), Busy: busy, Target: a.target})
+	}
 
 	// Short-term safeguard: the primaries are using everything we left
 	// them; cut the window short and expand (Algorithm 1 lines 7-9).
@@ -319,7 +332,7 @@ func (a *Agent) poll() {
 
 	// Reactive policies (FixedBuffer) adjust between windows.
 	if t, ok := a.ctrl.OnPoll(busy, a.target); ok {
-		t = a.clampTarget(t, busy)
+		t, _ = a.clampTarget(t, busy)
 		if delay := a.applyTarget(t); delay > 0 {
 			// The single-threaded agent is busy resizing/sleeping;
 			// resume polling (and postpone the window edge) after.
@@ -363,7 +376,25 @@ func (a *Agent) endWindow(safeguard bool, busy int) {
 		CurrentTarget: a.target,
 		Busy:          busy,
 	}
-	target := a.clampTarget(a.ctrl.OnWindowEnd(w), busy)
+	if o := a.cfg.Observer; o != nil && safeguard {
+		o.OnSafeguardTrip(obs.SafeguardTrip{At: now, Busy: busy, Target: a.target})
+	}
+	prediction := a.ctrl.OnWindowEnd(w)
+	target, clamp := a.clampTarget(prediction, busy)
+	if o := a.cfg.Observer; o != nil {
+		o.OnWindowEnd(obs.WindowEnd{
+			At:         now,
+			Seq:        a.windows,
+			Samples:    len(a.samples),
+			Features:   a.windowFeatures(peak),
+			Peak1s:     w.Peak1s,
+			Busy:       busy,
+			Safeguard:  safeguard,
+			Prediction: prediction,
+			Target:     target,
+			Clamp:      clamp,
+		})
+	}
 
 	if a.cfg.RecordSeries {
 		a.targetSeries.Add(int64(now), float64(target))
@@ -381,17 +412,55 @@ func (a *Agent) endWindow(safeguard bool, busy int) {
 // clampTarget enforces Algorithm 1 line 20 (never assign fewer than
 // busy+1 cores) and the allocation bounds, and pins the target to the
 // full allocation while the long-term safeguard has harvesting paused.
-func (a *Agent) clampTarget(target, busy int) int {
+// The second return explains which rule (if any) overrode the input.
+func (a *Agent) clampTarget(target, busy int) (int, obs.ClampReason) {
 	if a.HarvestingPaused() {
-		return a.cfg.PrimaryAlloc
+		return a.cfg.PrimaryAlloc, obs.ClampPaused
 	}
+	reason := obs.ClampNone
 	if m := busy + 1; target < m {
 		target = m
+		reason = obs.ClampBusyFloor
 	}
 	if target > a.cfg.PrimaryAlloc {
 		target = a.cfg.PrimaryAlloc
+		reason = obs.ClampAllocCap
 	}
-	return target
+	return target, reason
+}
+
+// windowFeatures summarizes the current window's samples for the
+// observer: the same five statistics the paper's learner consumes. Only
+// called with an observer attached, so the median sort's scratch buffer
+// never costs a disabled run anything.
+func (a *Agent) windowFeatures(peak int) obs.Features {
+	n := len(a.samples)
+	if n == 0 {
+		return obs.Features{}
+	}
+	f := obs.Features{Min: a.samples[0], Max: peak}
+	sum := 0
+	for _, s := range a.samples {
+		if s < f.Min {
+			f.Min = s
+		}
+		sum += s
+	}
+	f.Avg = float64(sum) / float64(n)
+	varSum := 0.0
+	for _, s := range a.samples {
+		d := float64(s) - f.Avg
+		varSum += d * d
+	}
+	f.Std = math.Sqrt(varSum / float64(n))
+	a.sortScratch = append(a.sortScratch[:0], a.samples...)
+	sort.Ints(a.sortScratch)
+	if n%2 == 1 {
+		f.Median = float64(a.sortScratch[n/2])
+	} else {
+		f.Median = float64(a.sortScratch[n/2-1]+a.sortScratch[n/2]) / 2
+	}
+	return f
 }
 
 // applyTarget issues the resize if needed and returns how long the agent
@@ -458,10 +527,28 @@ func (a *Agent) qosCheck() {
 	if !a.cfg.LongTermSafeguard {
 		return
 	}
+	// A pause expires implicitly (HarvestingPaused compares against the
+	// clock), so the resume event is emitted from the first QoS check that
+	// observes the expiry.
+	if a.resumePending && !a.HarvestingPaused() {
+		a.resumePending = false
+		if o := a.cfg.Observer; o != nil {
+			o.OnQoSResume(obs.QoSResume{At: a.loop.Now()})
+		}
+	}
 	if a.qosStrikes >= a.cfg.QoSConsecutive && !a.HarvestingPaused() {
 		a.qosTrips++
 		a.qosStrikes = 0
 		a.pausedUntil = a.loop.Now() + a.cfg.HarvestPause
+		a.resumePending = true
+		if o := a.cfg.Observer; o != nil {
+			o.OnQoSTrip(obs.QoSTrip{
+				At:         a.loop.Now(),
+				Frac:       frac,
+				Waits:      len(waits),
+				PauseUntil: a.pausedUntil,
+			})
+		}
 		a.target = a.cfg.PrimaryAlloc
 		if a.hv.SetPrimaryCores(a.target) {
 			a.resizeCount++

@@ -27,6 +27,36 @@ func (m SafeguardMode) String() string {
 	return "conservative"
 }
 
+// ParseSafeguardMode is the inverse of String.
+func ParseSafeguardMode(s string) (SafeguardMode, error) {
+	switch s {
+	case "conservative":
+		return ConservativeSafeguard, nil
+	case "aggressive":
+		return AggressiveSafeguard, nil
+	default:
+		return 0, fmt.Errorf("core: unknown safeguard mode %q (want conservative or aggressive)", s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m SafeguardMode) MarshalText() ([]byte, error) {
+	if m != ConservativeSafeguard && m != AggressiveSafeguard {
+		return nil, fmt.Errorf("core: cannot marshal SafeguardMode(%d)", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *SafeguardMode) UnmarshalText(text []byte) error {
+	v, err := ParseSafeguardMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // SmartHarvest is the paper's controller: cost-sensitive multi-class
 // classification over the five window features, predicting the next
 // window's peak primary core usage.

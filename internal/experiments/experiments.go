@@ -13,13 +13,17 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"smartharvest/internal/apps"
 	"smartharvest/internal/core"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/metrics"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 	"smartharvest/internal/textplot"
 )
@@ -36,6 +40,11 @@ type Config struct {
 	// Parallel bounds the scenario worker pool (0 = GOMAXPROCS).
 	// Results are byte-identical at any setting; see harness.RunAll.
 	Parallel int
+	// TraceDir, when non-empty, writes one JSONL event trace per scenario
+	// into the directory (poll samples omitted — they dominate volume
+	// ~1000:1). Each scenario owns its file, so traces are byte-identical
+	// at any Parallel setting. The directory must exist.
+	TraceDir string
 }
 
 // Default returns the full-length configuration (30 s measured per run,
@@ -49,9 +58,58 @@ func Quick() Config {
 	return Config{Duration: 6 * sim.Second, Warmup: 2 * sim.Second, Seed: 1}
 }
 
-// runAll executes scenarios on the configured worker pool.
+// runAll executes scenarios on the configured worker pool, attaching a
+// per-scenario JSONL trace writer when cfg.TraceDir is set.
 func runAll(cfg Config, scenarios []harness.Scenario) ([]*harness.Result, error) {
-	return harness.RunAll(scenarios, harness.Parallelism(cfg.Parallel))
+	if cfg.TraceDir == "" {
+		return harness.RunAll(scenarios, harness.Parallelism(cfg.Parallel))
+	}
+	files := make([]*os.File, len(scenarios))
+	sinks := make([]*obs.JSONL, len(scenarios))
+	for i := range scenarios {
+		// The index keeps names unique (sweeps reuse scenario names).
+		name := fmt.Sprintf("%s-s%d-%03d.jsonl",
+			sanitizeTraceName(scenarios[i].Name), scenarios[i].Seed, i)
+		f, err := os.Create(filepath.Join(cfg.TraceDir, name))
+		if err != nil {
+			for _, prev := range files[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("experiments: creating trace: %w", err)
+		}
+		files[i] = f
+		sinks[i] = obs.NewJSONL(f, obs.JSONLOmitPolls())
+		scenarios[i].Observer = sinks[i]
+	}
+	results, err := harness.RunAll(scenarios, harness.Parallelism(cfg.Parallel))
+	errs := []error{err}
+	for i, sink := range sinks {
+		if ferr := sink.Flush(); ferr != nil {
+			errs = append(errs, fmt.Errorf("experiments: trace %s: %w", files[i].Name(), ferr))
+		}
+		if cerr := files[i].Close(); cerr != nil {
+			errs = append(errs, fmt.Errorf("experiments: trace %s: %w", files[i].Name(), cerr))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// sanitizeTraceName maps a scenario name to a safe filename stem.
+func sanitizeTraceName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "scenario"
+	}
+	return b.String()
 }
 
 // Report is a formatted experiment result.

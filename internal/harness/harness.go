@@ -13,6 +13,7 @@ import (
 	"smartharvest/internal/core"
 	"smartharvest/internal/hypervisor"
 	"smartharvest/internal/metrics"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 	"smartharvest/internal/simrng"
 	"smartharvest/internal/workload"
@@ -45,6 +46,40 @@ func (b BatchKind) String() string {
 	default:
 		return fmt.Sprintf("BatchKind(%d)", int(b))
 	}
+}
+
+// ParseBatchKind is the inverse of String.
+func ParseBatchKind(s string) (BatchKind, error) {
+	switch s {
+	case "cpubully":
+		return BatchCPUBully, nil
+	case "hdinsight":
+		return BatchHDInsight, nil
+	case "terasort":
+		return BatchTeraSort, nil
+	case "none":
+		return BatchNone, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown batch kind %q (want cpubully, hdinsight, terasort, or none)", s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (b BatchKind) MarshalText() ([]byte, error) {
+	if b < BatchCPUBully || b > BatchNone {
+		return nil, fmt.Errorf("harness: cannot marshal %s", b)
+	}
+	return []byte(b.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (b *BatchKind) UnmarshalText(text []byte) error {
+	v, err := ParseBatchKind(string(text))
+	if err != nil {
+		return err
+	}
+	*b = v
+	return nil
 }
 
 // ControllerFactory builds a policy for a primary allocation.
@@ -96,6 +131,31 @@ type Scenario struct {
 	Churn []ChurnEvent
 	// Seed drives all randomness.
 	Seed uint64
+	// Observer receives the run's typed event stream (window decisions,
+	// safeguard/QoS trips, resizes, churn, batch progress). Nil disables
+	// observation at zero cost. Events are delivered synchronously on the
+	// simulation goroutine, so a deterministic scenario produces a
+	// byte-identical trace regardless of RunAll parallelism.
+	Observer obs.Observer
+}
+
+// ScenarioOption adjusts a Scenario at Run time without mutating the
+// caller's copy — the functional-option face of the same knobs.
+type ScenarioOption func(*Scenario)
+
+// WithObserver attaches an observer to the run.
+func WithObserver(o obs.Observer) ScenarioOption {
+	return func(s *Scenario) { s.Observer = o }
+}
+
+// WithSeed overrides the scenario's seed.
+func WithSeed(seed uint64) ScenarioOption {
+	return func(s *Scenario) { s.Seed = seed }
+}
+
+// WithDuration overrides the measured run length.
+func WithDuration(d sim.Time) ScenarioOption {
+	return func(s *Scenario) { s.Duration = d }
 }
 
 // ChurnEvent is one primary-VM arrival or departure.
@@ -206,12 +266,39 @@ func (s *Scenario) applyDefaults() {
 	}
 }
 
+// validate runs after applyDefaults, so zero values have already been
+// filled in; what it rejects is explicitly bad input. Every error wraps
+// one of the package's sentinel errors (see errors.go).
 func (s *Scenario) validate() error {
 	if len(s.Primaries) == 0 {
-		return fmt.Errorf("harness: scenario %q has no primary workloads", s.Name)
+		return s.scenarioErr("Primaries", ErrNoPrimaries, "")
 	}
 	if s.PrimaryVMCores < 1 || s.ElasticMin < 1 {
-		return fmt.Errorf("harness: scenario %q has bad core counts", s.Name)
+		return s.scenarioErr("PrimaryVMCores/ElasticMin", ErrBadCoreCounts,
+			"PrimaryVMCores=%d ElasticMin=%d", s.PrimaryVMCores, s.ElasticMin)
+	}
+	if s.Duration < 0 {
+		return s.scenarioErr("Duration", ErrBadDuration, "Duration=%v", s.Duration)
+	}
+	if s.Warmup < 0 {
+		return s.scenarioErr("Warmup", ErrBadDuration, "Warmup=%v", s.Warmup)
+	}
+	if s.Window <= 0 || s.PollInterval <= 0 {
+		return s.scenarioErr("Window/PollInterval", ErrBadWindow,
+			"Window=%v PollInterval=%v", s.Window, s.PollInterval)
+	}
+	if s.Window < s.PollInterval {
+		return s.scenarioErr("Window", ErrBadWindow,
+			"Window %v shorter than PollInterval %v", s.Window, s.PollInterval)
+	}
+	if s.Batch < BatchCPUBully || s.Batch > BatchNone {
+		return s.scenarioErr("Batch", ErrUnknownBatch, "BatchKind(%d)", int(s.Batch))
+	}
+	for i, ev := range s.Churn {
+		if ev.Depart < -1 {
+			return s.scenarioErr("Churn", ErrBadChurn,
+				"event %d: departure index %d", i, ev.Depart)
+		}
 	}
 	return nil
 }
@@ -232,19 +319,26 @@ func (s *Scenario) maxConcurrentAlloc() (int, error) {
 		}
 		if ev.Depart >= 0 {
 			if ev.Depart >= total {
-				return 0, fmt.Errorf("harness: churn departure index %d out of range", ev.Depart)
+				return 0, s.scenarioErr("Churn", ErrBadChurn,
+					"departure index %d out of range [0, %d)", ev.Depart, total)
 			}
 			count--
 			if count < 1 {
-				return 0, fmt.Errorf("harness: churn would leave no primary VMs")
+				return 0, s.scenarioErr("Churn", ErrBadChurn, "would leave no primary VMs")
 			}
 		}
 	}
 	return peak * s.PrimaryVMCores, nil
 }
 
-// Run executes the scenario and returns its results.
-func Run(s Scenario) (*Result, error) {
+// Run executes the scenario and returns its results. Options are applied
+// to a copy of s, so the caller's Scenario is never mutated. Validation
+// failures return a *ScenarioError wrapping one of the package's sentinel
+// errors (ErrNoPrimaries, ErrBadDuration, ...), testable with errors.Is.
+func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
+	for _, opt := range opts {
+		opt(&s)
+	}
 	s.applyDefaults()
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -262,6 +356,7 @@ func Run(s Scenario) (*Result, error) {
 	hvCfg := hypervisor.DefaultConfig(total)
 	hvCfg.Mechanism = s.Mechanism
 	hvCfg.Seed = rng.Uint64()
+	hvCfg.Observer = s.Observer
 	machine, err := hypervisor.New(loop, hvCfg)
 	if err != nil {
 		return nil, err
@@ -289,13 +384,24 @@ func Run(s Scenario) (*Result, error) {
 		apps.NewCPUBully(loop, evm).Start()
 	case BatchHDInsight:
 		batchJob = apps.HDInsight(loop, evm, nil)
-		batchJob.Start()
 	case BatchTeraSort:
 		batchJob = apps.TeraSort(loop, evm, nil)
-		batchJob.Start()
 	case BatchNone:
 	default:
-		return nil, fmt.Errorf("harness: unknown batch kind %v", s.Batch)
+		// Unreachable: validate rejects unknown kinds up front.
+		return nil, s.scenarioErr("Batch", ErrUnknownBatch, "BatchKind(%d)", int(s.Batch))
+	}
+	if batchJob != nil {
+		if o := s.Observer; o != nil {
+			job := batchJob.Name()
+			batchJob.SetPhaseHook(func(phase, phases int, finished bool) {
+				o.OnBatchProgress(obs.BatchProgress{
+					At: loop.Now(), Job: job,
+					Phase: phase, Phases: phases, Finished: finished,
+				})
+			})
+		}
+		batchJob.Start()
 	}
 
 	// Agent. The controller is sized for the maximum concurrent
@@ -304,6 +410,7 @@ func Run(s Scenario) (*Result, error) {
 	agentCfg := core.DefaultConfig(maxAlloc, s.ElasticMin)
 	agentCfg.Window = s.Window
 	agentCfg.PollInterval = s.PollInterval
+	agentCfg.Observer = s.Observer
 	ctrl := s.Controller(maxAlloc)
 	// The long-term QoS guard belongs to SmartHarvest-style policies;
 	// the paper's baselines (fixed buffer, PrevPeak) run without it.
@@ -371,6 +478,20 @@ func Run(s Scenario) (*Result, error) {
 			}
 			if err := agent.SetPrimaryAlloc(live * s.PrimaryVMCores); err != nil {
 				churnErr = err
+				return
+			}
+			if o := s.Observer; o != nil {
+				arrived := ""
+				if ev.Arrive != nil {
+					arrived = ev.Arrive.Name
+				}
+				o.OnChurnApplied(obs.ChurnApplied{
+					At:            loop.Now(),
+					Arrived:       arrived,
+					Departed:      ev.Depart,
+					LivePrimaries: live,
+					PrimaryAlloc:  live * s.PrimaryVMCores,
+				})
 			}
 		})
 	}

@@ -22,6 +22,7 @@ package hypervisor
 import (
 	"fmt"
 
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
 
@@ -46,6 +47,36 @@ func (m Mechanism) String() string {
 	default:
 		return fmt.Sprintf("Mechanism(%d)", int(m))
 	}
+}
+
+// ParseMechanism is the inverse of String.
+func ParseMechanism(s string) (Mechanism, error) {
+	switch s {
+	case "cpugroups":
+		return CpuGroups, nil
+	case "ipis":
+		return IPI, nil
+	default:
+		return 0, fmt.Errorf("hypervisor: unknown mechanism %q (want cpugroups or ipis)", s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (m Mechanism) MarshalText() ([]byte, error) {
+	if m != CpuGroups && m != IPI {
+		return nil, fmt.Errorf("hypervisor: cannot marshal %s", m)
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *Mechanism) UnmarshalText(text []byte) error {
+	v, err := ParseMechanism(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // Config describes the simulated machine. The zero value is not useful;
@@ -88,6 +119,10 @@ type Config struct {
 
 	// Seed drives all stochastic latencies inside the hypervisor.
 	Seed uint64
+
+	// Observer receives a Resize event for every primary-group resize
+	// issued through SetPrimaryCores. Nil disables observation.
+	Observer obs.Observer
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

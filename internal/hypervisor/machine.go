@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"smartharvest/internal/metrics"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 	"smartharvest/internal/simrng"
 )
@@ -408,6 +409,15 @@ func (m *Machine) SetPrimaryCores(n int) bool {
 		return false
 	}
 	m.resizes++
+	if o := m.cfg.Observer; o != nil {
+		o.OnResize(obs.Resize{
+			At:        m.loop.Now(),
+			FromCores: m.logical[PrimaryGroup],
+			ToCores:   n,
+			Mechanism: m.cfg.Mechanism.String(),
+			Latency:   m.ResizeLatency(),
+		})
+	}
 	from, to := ElasticGroup, PrimaryGroup
 	k := delta
 	if delta < 0 {

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// JSONL streams every event as one newline-delimited JSON object with a
+// stable, versioned schema (SchemaVersion). Lines are hand-encoded —
+// fields appear in a fixed order and floats use Go's shortest-round-trip
+// formatting — so for a given scenario and seed the trace is
+// byte-identical run over run, including across RunAll parallelism
+// settings (each scenario owns its writer).
+//
+// Every line carries `"v"` (schema version), `"ev"` (event name, the
+// Kind string) and `"t"` (virtual nanoseconds); the remaining fields are
+// per-event (see DESIGN.md §6 for the full schema).
+//
+// Writes are buffered; call Flush when the run is done and check Err.
+// JSONL is not safe for concurrent use — attach one per scenario.
+type JSONL struct {
+	w         *bufio.Writer
+	buf       []byte
+	omitPolls bool
+	err       error
+}
+
+// JSONLOption configures a JSONL sink.
+type JSONLOption func(*JSONL)
+
+// JSONLOmitPolls drops PollSample events from the trace. Polls fire
+// every 50 µs of virtual time and dominate trace volume ~1000:1; traces
+// meant for window-level analysis usually want them off.
+func JSONLOmitPolls() JSONLOption {
+	return func(j *JSONL) { j.omitPolls = true }
+}
+
+// NewJSONL returns a sink streaming to w.
+func NewJSONL(w io.Writer, opts ...JSONLOption) *JSONL {
+	j := &JSONL{w: bufio.NewWriter(w), buf: make([]byte, 0, 256)}
+	for _, o := range opts {
+		o(j)
+	}
+	return j
+}
+
+// Flush writes out buffered lines and returns the first error seen.
+func (j *JSONL) Flush() error {
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// Err returns the first write error, if any. Sinks keep accepting events
+// after an error but drop them.
+func (j *JSONL) Err() error { return j.err }
+
+// begin starts a line with the common prefix; returns false if the sink
+// is in an error state.
+func (j *JSONL) begin(ev Kind, t int64) bool {
+	if j.err != nil {
+		return false
+	}
+	b := j.buf[:0]
+	b = append(b, `{"v":`...)
+	b = strconv.AppendInt(b, SchemaVersion, 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, ev.String()...)
+	b = append(b, `","t":`...)
+	b = strconv.AppendInt(b, t, 10)
+	j.buf = b
+	return true
+}
+
+func (j *JSONL) intField(name string, v int64) {
+	b := append(j.buf, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	j.buf = strconv.AppendInt(b, v, 10)
+}
+
+func (j *JSONL) floatField(name string, v float64) {
+	b := append(j.buf, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	j.buf = strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func (j *JSONL) boolField(name string, v bool) {
+	b := append(j.buf, ',', '"')
+	b = append(b, name...)
+	b = append(b, '"', ':')
+	if v {
+		b = append(b, "true"...)
+	} else {
+		b = append(b, "false"...)
+	}
+	j.buf = b
+}
+
+func (j *JSONL) strField(name, v string) {
+	b := append(j.buf, ',', '"')
+	b = append(b, name...)
+	b = append(b, `":"`...)
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		// Event strings are workload/mechanism names (ASCII identifiers);
+		// escape the JSON specials anyway so arbitrary names stay valid.
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, `\u00`...)
+			const hex = "0123456789abcdef"
+			b = append(b, hex[c>>4], hex[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	j.buf = append(b, '"')
+}
+
+func (j *JSONL) end() {
+	j.buf = append(j.buf, '}', '\n')
+	if _, err := j.w.Write(j.buf); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+func (j *JSONL) OnPollSample(e PollSample) {
+	if j.omitPolls || !j.begin(KindPollSample, int64(e.At)) {
+		return
+	}
+	j.intField("busy", int64(e.Busy))
+	j.intField("target", int64(e.Target))
+	j.end()
+}
+
+func (j *JSONL) OnWindowEnd(e WindowEnd) {
+	if !j.begin(KindWindowEnd, int64(e.At)) {
+		return
+	}
+	j.intField("seq", int64(e.Seq))
+	j.intField("samples", int64(e.Samples))
+	j.intField("min", int64(e.Features.Min))
+	j.intField("peak", int64(e.Features.Max))
+	j.floatField("avg", e.Features.Avg)
+	j.floatField("std", e.Features.Std)
+	j.floatField("median", e.Features.Median)
+	j.intField("peak1s", int64(e.Peak1s))
+	j.intField("busy", int64(e.Busy))
+	j.boolField("safeguard", e.Safeguard)
+	j.intField("pred", int64(e.Prediction))
+	j.intField("target", int64(e.Target))
+	j.strField("clamp", e.Clamp.String())
+	j.end()
+}
+
+func (j *JSONL) OnSafeguardTrip(e SafeguardTrip) {
+	if !j.begin(KindSafeguardTrip, int64(e.At)) {
+		return
+	}
+	j.intField("busy", int64(e.Busy))
+	j.intField("target", int64(e.Target))
+	j.end()
+}
+
+func (j *JSONL) OnQoSTrip(e QoSTrip) {
+	if !j.begin(KindQoSTrip, int64(e.At)) {
+		return
+	}
+	j.floatField("frac", e.Frac)
+	j.intField("waits", int64(e.Waits))
+	j.intField("pause_until", int64(e.PauseUntil))
+	j.end()
+}
+
+func (j *JSONL) OnQoSResume(e QoSResume) {
+	if !j.begin(KindQoSResume, int64(e.At)) {
+		return
+	}
+	j.end()
+}
+
+func (j *JSONL) OnResize(e Resize) {
+	if !j.begin(KindResize, int64(e.At)) {
+		return
+	}
+	j.intField("from", int64(e.FromCores))
+	j.intField("to", int64(e.ToCores))
+	j.strField("mech", e.Mechanism)
+	j.intField("latency", int64(e.Latency))
+	j.end()
+}
+
+func (j *JSONL) OnChurnApplied(e ChurnApplied) {
+	if !j.begin(KindChurnApplied, int64(e.At)) {
+		return
+	}
+	j.strField("arrived", e.Arrived)
+	j.intField("departed", int64(e.Departed))
+	j.intField("live", int64(e.LivePrimaries))
+	j.intField("alloc", int64(e.PrimaryAlloc))
+	j.end()
+}
+
+func (j *JSONL) OnBatchProgress(e BatchProgress) {
+	if !j.begin(KindBatchProgress, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("phase", int64(e.Phase))
+	j.intField("phases", int64(e.Phases))
+	j.boolField("finished", e.Finished)
+	j.end()
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"smartharvest/internal/metrics"
+)
+
+// Metrics is the aggregating sink: it folds the event stream into the
+// counters and summary statistics that experiment reports and the Result
+// struct expose — one observer subsuming the agent's and machine's
+// scattered per-run counters (windows, safeguard invocations, QoS trips,
+// resizes) plus distributional summaries those counters never had.
+//
+// Fields are exported for direct reading once the run is over; the sink
+// is not safe for concurrent use during a run (attach one per scenario).
+type Metrics struct {
+	Polls      uint64
+	Windows    uint64
+	Safeguards uint64 // short-term safeguard trips
+	QoSTrips   uint64
+	QoSResumes uint64
+	Resizes    uint64
+	Grows      uint64 // resizes that shrank the primary group (ElasticVM grew)
+	Shrinks    uint64 // resizes that grew the primary group back
+	Churns     uint64
+	BatchPhases uint64
+	BatchFinished bool
+
+	// ClampCounts tallies WindowEnd clamp reasons by ClampReason value.
+	ClampCounts [4]uint64
+
+	// Per-window statistics.
+	WindowPeak   metrics.Welford // observed peak busy cores per window
+	WindowTarget metrics.Welford // applied primary-core target per window
+
+	// Busy-core statistics at poll granularity.
+	PollBusy metrics.Welford
+
+	// ResizeLatency summarizes the hypercall issue latency per resize (ns).
+	ResizeLatency metrics.Welford
+}
+
+// NewMetrics returns an empty aggregating sink.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) OnPollSample(e PollSample) {
+	m.Polls++
+	m.PollBusy.Add(float64(e.Busy))
+}
+
+func (m *Metrics) OnWindowEnd(e WindowEnd) {
+	m.Windows++
+	if int(e.Clamp) < len(m.ClampCounts) {
+		m.ClampCounts[e.Clamp]++
+	}
+	m.WindowPeak.Add(float64(e.Features.Max))
+	m.WindowTarget.Add(float64(e.Target))
+}
+
+func (m *Metrics) OnSafeguardTrip(SafeguardTrip) { m.Safeguards++ }
+func (m *Metrics) OnQoSTrip(QoSTrip)             { m.QoSTrips++ }
+func (m *Metrics) OnQoSResume(QoSResume)         { m.QoSResumes++ }
+
+func (m *Metrics) OnResize(e Resize) {
+	m.Resizes++
+	if e.ToCores < e.FromCores {
+		m.Grows++
+	} else {
+		m.Shrinks++
+	}
+	m.ResizeLatency.Add(float64(e.Latency))
+}
+
+func (m *Metrics) OnChurnApplied(ChurnApplied) { m.Churns++ }
+
+func (m *Metrics) OnBatchProgress(e BatchProgress) {
+	m.BatchPhases++
+	if e.Finished {
+		m.BatchFinished = true
+	}
+}
+
+// String renders a one-run summary.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "polls=%d windows=%d safeguards=%d qos-trips=%d resizes=%d (grow %d / shrink %d)",
+		m.Polls, m.Windows, m.Safeguards, m.QoSTrips, m.Resizes, m.Grows, m.Shrinks)
+	if m.Windows > 0 {
+		fmt.Fprintf(&b, "\navg window peak=%.2f avg target=%.2f clamp: none=%d paused=%d busy-floor=%d alloc-cap=%d",
+			m.WindowPeak.Mean(), m.WindowTarget.Mean(),
+			m.ClampCounts[ClampNone], m.ClampCounts[ClampPaused],
+			m.ClampCounts[ClampBusyFloor], m.ClampCounts[ClampAllocCap])
+	}
+	if m.Churns > 0 {
+		fmt.Fprintf(&b, "\nchurn events applied=%d", m.Churns)
+	}
+	if m.BatchPhases > 0 {
+		fmt.Fprintf(&b, "\nbatch phases=%d finished=%v", m.BatchPhases, m.BatchFinished)
+	}
+	return b.String()
+}

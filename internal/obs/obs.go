@@ -1,0 +1,234 @@
+// Package obs is the tracing/observability layer of the SmartHarvest
+// reproduction: a typed event stream emitted by the EVMAgent, the
+// simulated hypervisor, and the experiment harness, consumed through the
+// small Observer interface.
+//
+// The design constraint is zero overhead when disabled: every emission
+// site is guarded by a nil check on the observer, so a run without an
+// observer performs no allocation and no interface call on the sim hot
+// path (guarded by benchmarks in internal/sim and internal/core). With an
+// observer attached, events are delivered synchronously on the simulation
+// goroutine in deterministic order — a trace is a pure function of the
+// scenario and seed, which is what makes the JSONL sink's byte-identity
+// guarantee across parallelism settings possible (see internal/harness).
+//
+// Three stock sinks cover the common needs:
+//
+//   - Ring: a bounded in-memory buffer of recent events (flight recorder).
+//   - JSONL: a streaming newline-delimited-JSON writer with a stable,
+//     versioned schema (see SchemaVersion and DESIGN.md).
+//   - Metrics: an aggregating sink that folds the stream into the
+//     counters and latency summaries experiment reports use.
+//
+// Custom observers embed NopObserver and override the methods they care
+// about; Multi fans one stream out to several observers.
+package obs
+
+import "smartharvest/internal/sim"
+
+// SchemaVersion is the version tag every JSONL trace line carries.
+// Bump it when an event type gains, loses, or renames a field.
+const SchemaVersion = 1
+
+// ClampReason explains why the agent's in-force target differs from the
+// controller's raw prediction (or that it does not).
+type ClampReason uint8
+
+const (
+	// ClampNone: the prediction was applied as-is.
+	ClampNone ClampReason = iota
+	// ClampPaused: the long-term safeguard has harvesting paused, so the
+	// target is pinned to the full primary allocation.
+	ClampPaused
+	// ClampBusyFloor: the prediction was raised to busy+1 (Algorithm 1
+	// line 20 — never assign fewer cores than are busy right now).
+	ClampBusyFloor
+	// ClampAllocCap: the prediction exceeded the primary allocation and
+	// was capped.
+	ClampAllocCap
+)
+
+var clampNames = [...]string{"none", "paused", "busy-floor", "alloc-cap"}
+
+func (c ClampReason) String() string {
+	if int(c) < len(clampNames) {
+		return clampNames[c]
+	}
+	return "unknown"
+}
+
+// Features are the per-window summary statistics of the busy-core
+// samples — the same five statistics the paper's learner consumes.
+type Features struct {
+	Min    int
+	Max    int
+	Avg    float64
+	Std    float64
+	Median float64
+}
+
+// PollSample is one busy-poll reading (the agent's inner loop; fires
+// every PollInterval, 50 µs by default — the hottest event by far).
+type PollSample struct {
+	At     sim.Time
+	Busy   int // busy primary cores at the poll instant
+	Target int // primary-core assignment in force
+}
+
+// WindowEnd is one learning-window decision: the window's features, the
+// controller's raw prediction, and the clamped target that was applied.
+type WindowEnd struct {
+	At         sim.Time
+	Seq        uint64 // 1-based window index within the run
+	Samples    int    // busy-core readings collected this window
+	Features   Features
+	Peak1s     int  // trailing-second peak (conservative safeguard input)
+	Busy       int  // busy reading at the decision instant
+	Safeguard  bool // window was cut short by the short-term safeguard
+	Prediction int  // controller's raw output
+	Target     int  // clamped target actually applied
+	Clamp      ClampReason
+}
+
+// SafeguardTrip fires when the short-term safeguard cuts a window short
+// because the primaries exhausted their assignment.
+type SafeguardTrip struct {
+	At     sim.Time
+	Busy   int
+	Target int // assignment that was exhausted
+}
+
+// QoSTrip fires when the long-term safeguard disables harvesting.
+type QoSTrip struct {
+	At         sim.Time
+	Frac       float64  // violating fraction of dispatch waits
+	Waits      int      // wait samples in the QoS window
+	PauseUntil sim.Time // when harvesting may resume
+}
+
+// QoSResume fires at the first QoS check after a harvest pause expires.
+type QoSResume struct {
+	At sim.Time
+}
+
+// Resize is one core-reassignment request issued to the hypervisor.
+type Resize struct {
+	At        sim.Time
+	FromCores int // primary-group size before (including in-flight moves)
+	ToCores   int // requested primary-group size
+	Mechanism string
+	Latency   sim.Time // hypercall issue latency the caller is blocked for
+}
+
+// ChurnApplied fires when a scheduled primary-VM arrival/departure has
+// been applied and the agent re-targeted.
+type ChurnApplied struct {
+	At            sim.Time
+	Arrived       string // workload name, "" if the event had no arrival
+	Departed      int    // departed primary index, -1 if none
+	LivePrimaries int    // primary VMs alive after the event
+	PrimaryAlloc  int    // agent's primary allocation after the event
+}
+
+// BatchProgress fires at every phase boundary of a finite batch job
+// (HDInsight, TeraSort), and once more with Finished set.
+type BatchProgress struct {
+	At       sim.Time
+	Job      string
+	Phase    int // 0-based phase that just started; == Phases when finished
+	Phases   int
+	Finished bool
+}
+
+// Observer receives the event stream. All methods are invoked
+// synchronously on the simulation goroutine; implementations must not
+// retain argument memory beyond the call (events are passed by value, so
+// only embedded reference types — none today — would be shared).
+//
+// Embed NopObserver to implement only the events you care about.
+type Observer interface {
+	OnPollSample(PollSample)
+	OnWindowEnd(WindowEnd)
+	OnSafeguardTrip(SafeguardTrip)
+	OnQoSTrip(QoSTrip)
+	OnQoSResume(QoSResume)
+	OnResize(Resize)
+	OnChurnApplied(ChurnApplied)
+	OnBatchProgress(BatchProgress)
+}
+
+// NopObserver implements Observer with no-ops; embed it to build partial
+// observers.
+type NopObserver struct{}
+
+func (NopObserver) OnPollSample(PollSample)       {}
+func (NopObserver) OnWindowEnd(WindowEnd)         {}
+func (NopObserver) OnSafeguardTrip(SafeguardTrip) {}
+func (NopObserver) OnQoSTrip(QoSTrip)             {}
+func (NopObserver) OnQoSResume(QoSResume)         {}
+func (NopObserver) OnResize(Resize)               {}
+func (NopObserver) OnChurnApplied(ChurnApplied)   {}
+func (NopObserver) OnBatchProgress(BatchProgress) {}
+
+// multi fans events out to several observers in order.
+type multi struct{ obs []Observer }
+
+// Multi returns an observer that forwards every event to each of the
+// given observers, in argument order. Nil entries are skipped; a single
+// non-nil observer is returned unwrapped.
+func Multi(observers ...Observer) Observer {
+	var live []Observer
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multi{obs: live}
+}
+
+func (m *multi) OnPollSample(e PollSample) {
+	for _, o := range m.obs {
+		o.OnPollSample(e)
+	}
+}
+func (m *multi) OnWindowEnd(e WindowEnd) {
+	for _, o := range m.obs {
+		o.OnWindowEnd(e)
+	}
+}
+func (m *multi) OnSafeguardTrip(e SafeguardTrip) {
+	for _, o := range m.obs {
+		o.OnSafeguardTrip(e)
+	}
+}
+func (m *multi) OnQoSTrip(e QoSTrip) {
+	for _, o := range m.obs {
+		o.OnQoSTrip(e)
+	}
+}
+func (m *multi) OnQoSResume(e QoSResume) {
+	for _, o := range m.obs {
+		o.OnQoSResume(e)
+	}
+}
+func (m *multi) OnResize(e Resize) {
+	for _, o := range m.obs {
+		o.OnResize(e)
+	}
+}
+func (m *multi) OnChurnApplied(e ChurnApplied) {
+	for _, o := range m.obs {
+		o.OnChurnApplied(e)
+	}
+}
+func (m *multi) OnBatchProgress(e BatchProgress) {
+	for _, o := range m.obs {
+		o.OnBatchProgress(e)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"smartharvest/internal/sim"
+)
+
+// feedAll sends one event of every kind to o, in kind order, and returns
+// how many were sent.
+func feedAll(o Observer) int {
+	o.OnPollSample(PollSample{At: 50 * sim.Microsecond, Busy: 3, Target: 5})
+	o.OnWindowEnd(WindowEnd{
+		At: 25 * sim.Millisecond, Seq: 1, Samples: 500,
+		Features: Features{Min: 1, Max: 4, Avg: 2.5, Std: 0.5, Median: 2},
+		Peak1s:   4, Busy: 3, Safeguard: false,
+		Prediction: 2, Target: 4, Clamp: ClampBusyFloor,
+	})
+	o.OnSafeguardTrip(SafeguardTrip{At: 30 * sim.Millisecond, Busy: 5, Target: 5})
+	o.OnQoSTrip(QoSTrip{At: sim.Second, Frac: 0.25, Waits: 400, PauseUntil: 11 * sim.Second})
+	o.OnQoSResume(QoSResume{At: 11 * sim.Second})
+	o.OnResize(Resize{At: 2 * sim.Second, FromCores: 10, ToCores: 4,
+		Mechanism: "cpugroups", Latency: 800 * sim.Microsecond})
+	o.OnChurnApplied(ChurnApplied{At: 3 * sim.Second, Arrived: "memcached",
+		Departed: -1, LivePrimaries: 2, PrimaryAlloc: 20})
+	o.OnBatchProgress(BatchProgress{At: 4 * sim.Second, Job: "terasort",
+		Phase: 6, Phases: 6, Finished: true})
+	return 8
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.OnPollSample(PollSample{At: sim.Time(i), Busy: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Total(KindPollSample) != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total(KindPollSample))
+	}
+	recs := r.Records()
+	for i, rec := range recs {
+		if rec.Kind != KindPollSample {
+			t.Fatalf("record %d kind %v", i, rec.Kind)
+		}
+		if want := i + 2; rec.PollSample.Busy != want {
+			t.Fatalf("record %d busy %d, want %d (oldest-first)", i, rec.PollSample.Busy, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.TotalEvents() != 0 {
+		t.Fatalf("after Reset: Len=%d TotalEvents=%d", r.Len(), r.TotalEvents())
+	}
+}
+
+func TestRingRecordsAllKinds(t *testing.T) {
+	r := NewRing(16)
+	n := feedAll(r)
+	if int(r.TotalEvents()) != n {
+		t.Fatalf("TotalEvents = %d, want %d", r.TotalEvents(), n)
+	}
+	recs := r.Records()
+	if len(recs) != n {
+		t.Fatalf("Records len %d, want %d", len(recs), n)
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if r.Total(k) != 1 {
+			t.Fatalf("Total(%v) = %d, want 1", k, r.Total(k))
+		}
+		if recs[int(k)].Kind != k {
+			t.Fatalf("record %d kind %v, want %v", k, recs[int(k)].Kind, k)
+		}
+	}
+	if recs[KindResize].Resize.Mechanism != "cpugroups" {
+		t.Fatalf("resize payload lost: %+v", recs[KindResize].Resize)
+	}
+}
+
+// TestJSONLSchema locks the per-event line format. A diff here means
+// SchemaVersion must be bumped and DESIGN.md updated.
+func TestJSONLSchema(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	feedAll(j)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"v":1,"ev":"poll","t":50000,"busy":3,"target":5}`,
+		`{"v":1,"ev":"window","t":25000000,"seq":1,"samples":500,"min":1,"peak":4,"avg":2.5,"std":0.5,"median":2,"peak1s":4,"busy":3,"safeguard":false,"pred":2,"target":4,"clamp":"busy-floor"}`,
+		`{"v":1,"ev":"safeguard","t":30000000,"busy":5,"target":5}`,
+		`{"v":1,"ev":"qos-trip","t":1000000000,"frac":0.25,"waits":400,"pause_until":11000000000}`,
+		`{"v":1,"ev":"qos-resume","t":11000000000}`,
+		`{"v":1,"ev":"resize","t":2000000000,"from":10,"to":4,"mech":"cpugroups","latency":800000}`,
+		`{"v":1,"ev":"churn","t":3000000000,"arrived":"memcached","departed":-1,"live":2,"alloc":20}`,
+		`{"v":1,"ev":"batch","t":4000000000,"job":"terasort","phase":6,"phases":6,"finished":true}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("trace lines changed (schema drift — bump SchemaVersion):\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestJSONLOmitPolls(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf, JSONLOmitPolls())
+	feedAll(j)
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"ev":"poll"`) {
+		t.Error("poll line present despite JSONLOmitPolls")
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 7 {
+		t.Errorf("got %d lines, want 7", n)
+	}
+}
+
+func TestJSONLEscapesStrings(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.OnChurnApplied(ChurnApplied{Arrived: "a\"b\\c\n", Departed: -1})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `"arrived":"a\"b\\c\u000a"`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaping wrong: %s", buf.String())
+	}
+}
+
+// errWriter fails after n bytes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLSticksOnWriteError(t *testing.T) {
+	j := NewJSONL(&errWriter{n: 4})
+	for i := 0; i < 4096; i++ { // enough to overflow the bufio buffer
+		j.OnQoSResume(QoSResume{At: sim.Time(i)})
+	}
+	if err := j.Flush(); err == nil {
+		t.Fatal("Flush did not surface the write error")
+	}
+	if j.Err() == nil {
+		t.Fatal("Err did not stick")
+	}
+	// Further events are dropped without panicking.
+	j.OnQoSResume(QoSResume{})
+}
+
+func TestMetricsAggregates(t *testing.T) {
+	m := NewMetrics()
+	feedAll(m)
+	if m.Polls != 1 || m.Windows != 1 || m.Safeguards != 1 ||
+		m.QoSTrips != 1 || m.QoSResumes != 1 || m.Resizes != 1 ||
+		m.Churns != 1 || m.BatchPhases != 1 {
+		t.Fatalf("counters wrong: %+v", m)
+	}
+	if !m.BatchFinished {
+		t.Error("BatchFinished not set")
+	}
+	if m.Grows != 1 || m.Shrinks != 0 {
+		t.Errorf("resize 10->4 should count as one grow, got grows=%d shrinks=%d", m.Grows, m.Shrinks)
+	}
+	if m.ClampCounts[ClampBusyFloor] != 1 {
+		t.Errorf("ClampCounts = %v", m.ClampCounts)
+	}
+	if m.WindowPeak.Mean() != 4 || m.WindowTarget.Mean() != 4 {
+		t.Errorf("window stats: peak %v target %v", m.WindowPeak.Mean(), m.WindowTarget.Mean())
+	}
+	if m.ResizeLatency.Mean() != 800e3 {
+		t.Errorf("resize latency mean %v", m.ResizeLatency.Mean())
+	}
+	if s := m.String(); !strings.Contains(s, "windows=1") || !strings.Contains(s, "busy-floor=1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestMultiFansOutInOrder(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	m := Multi(nil, a, nil, b)
+	n := feedAll(m)
+	if int(a.TotalEvents()) != n || int(b.TotalEvents()) != n {
+		t.Fatalf("fan-out missed events: a=%d b=%d want %d", a.TotalEvents(), b.TotalEvents(), n)
+	}
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("empty Multi should be nil")
+	}
+	r := NewRing(1)
+	if got := Multi(nil, r); got != Observer(r) {
+		t.Error("single-observer Multi should unwrap")
+	}
+}
+
+func TestNopObserverIsComplete(t *testing.T) {
+	// Compile-time: NopObserver satisfies Observer; run it for coverage.
+	feedAll(NopObserver{})
+}
+
+func TestKindAndClampStrings(t *testing.T) {
+	if KindWindowEnd.String() != "window" || Kind(250).String() != "unknown" {
+		t.Error("Kind strings wrong")
+	}
+	if ClampAllocCap.String() != "alloc-cap" || ClampReason(99).String() != "unknown" {
+		t.Error("ClampReason strings wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+// Kind discriminates Record's union.
+type Kind uint8
+
+const (
+	KindPollSample Kind = iota
+	KindWindowEnd
+	KindSafeguardTrip
+	KindQoSTrip
+	KindQoSResume
+	KindResize
+	KindChurnApplied
+	KindBatchProgress
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"poll", "window", "safeguard", "qos-trip", "qos-resume",
+	"resize", "churn", "batch",
+}
+
+func (k Kind) String() string {
+	if k < numKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Record is one captured event: Kind selects which field is valid.
+// Records are stored and returned by value, so a warm ring performs no
+// per-event allocation.
+type Record struct {
+	Kind          Kind
+	PollSample    PollSample
+	WindowEnd     WindowEnd
+	SafeguardTrip SafeguardTrip
+	QoSTrip       QoSTrip
+	QoSResume     QoSResume
+	Resize        Resize
+	ChurnApplied  ChurnApplied
+	BatchProgress BatchProgress
+}
+
+// Ring is the in-memory flight-recorder sink: it keeps the most recent
+// events in a fixed-capacity circular buffer and counts everything it has
+// seen. The zero value is not usable; call NewRing.
+type Ring struct {
+	buf   []Record
+	next  int  // index the next record is written to
+	full  bool // buf has wrapped at least once
+	total [numKinds]uint64
+}
+
+// NewRing returns a ring keeping the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("obs: ring capacity must be >= 1")
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Len returns how many events are currently buffered.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns how many events of kind k have been observed overall,
+// including ones that have since been overwritten.
+func (r *Ring) Total(k Kind) uint64 {
+	if k >= numKinds {
+		return 0
+	}
+	return r.total[k]
+}
+
+// TotalEvents returns how many events of any kind have been observed.
+func (r *Ring) TotalEvents() uint64 {
+	var n uint64
+	for _, c := range r.total {
+		n += c
+	}
+	return n
+}
+
+// Records returns the buffered events, oldest first. The slice is a copy.
+func (r *Ring) Records() []Record {
+	out := make([]Record, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// Reset clears the buffer and the totals.
+func (r *Ring) Reset() {
+	r.next = 0
+	r.full = false
+	r.total = [numKinds]uint64{}
+}
+
+// add stores a record slot and returns a pointer for the caller to fill.
+func (r *Ring) add(k Kind) *Record {
+	rec := &r.buf[r.next]
+	*rec = Record{Kind: k}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total[k]++
+	return rec
+}
+
+func (r *Ring) OnPollSample(e PollSample)       { r.add(KindPollSample).PollSample = e }
+func (r *Ring) OnWindowEnd(e WindowEnd)         { r.add(KindWindowEnd).WindowEnd = e }
+func (r *Ring) OnSafeguardTrip(e SafeguardTrip) { r.add(KindSafeguardTrip).SafeguardTrip = e }
+func (r *Ring) OnQoSTrip(e QoSTrip)             { r.add(KindQoSTrip).QoSTrip = e }
+func (r *Ring) OnQoSResume(e QoSResume)         { r.add(KindQoSResume).QoSResume = e }
+func (r *Ring) OnResize(e Resize)               { r.add(KindResize).Resize = e }
+func (r *Ring) OnChurnApplied(e ChurnApplied)   { r.add(KindChurnApplied).ChurnApplied = e }
+func (r *Ring) OnBatchProgress(e BatchProgress) { r.add(KindBatchProgress).BatchProgress = e }

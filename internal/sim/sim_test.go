@@ -457,3 +457,16 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 		l.Step()
 	}
 }
+
+// TestScheduleAndFireZeroAllocs pins the event-loop hot path at zero
+// allocations per schedule+fire cycle — the property the observability
+// layer's disabled path depends on. CI also runs the benchmark directly.
+func TestScheduleAndFireZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed")
+	}
+	res := testing.Benchmark(BenchmarkScheduleAndFire)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("schedule+fire allocates %d/op, want 0", a)
+	}
+}

@@ -34,10 +34,13 @@
 package smartharvest
 
 import (
+	"io"
+
 	"smartharvest/internal/apps"
 	"smartharvest/internal/core"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
 
@@ -82,6 +85,10 @@ const (
 	BatchNone      = harness.BatchNone
 )
 
+// ParseBatchKind parses a BatchKind from its String form ("cpubully",
+// "hdinsight", "terasort", "none").
+func ParseBatchKind(s string) (BatchKind, error) { return harness.ParseBatchKind(s) }
+
 // Mechanism selects how core reassignments take effect.
 type Mechanism = hypervisor.Mechanism
 
@@ -92,6 +99,10 @@ const (
 	CpuGroups = hypervisor.CpuGroups
 	IPI       = hypervisor.IPI
 )
+
+// ParseMechanism parses a Mechanism from its String form ("cpugroups",
+// "ipis").
+func ParseMechanism(s string) (Mechanism, error) { return hypervisor.ParseMechanism(s) }
 
 // Controller is the policy interface the EVMAgent drives: it decides the
 // primary-core target at every learning-window boundary (and, for
@@ -118,9 +129,43 @@ const (
 	AggressiveSafeguard   = core.AggressiveSafeguard
 )
 
+// ParseSafeguardMode parses a SafeguardMode from its String form
+// ("conservative", "aggressive").
+func ParseSafeguardMode(s string) (SafeguardMode, error) { return core.ParseSafeguardMode(s) }
+
+// ScenarioOption adjusts a Scenario at Run time (the caller's copy is
+// never mutated).
+type ScenarioOption = harness.ScenarioOption
+
+// WithObserver attaches an Observer to the run.
+func WithObserver(o Observer) ScenarioOption { return harness.WithObserver(o) }
+
+// WithSeed overrides the scenario's RNG seed.
+func WithSeed(seed uint64) ScenarioOption { return harness.WithSeed(seed) }
+
+// WithDuration overrides the measured run length.
+func WithDuration(d Time) ScenarioOption { return harness.WithDuration(d) }
+
+// Structured scenario-validation errors. Run returns a *ScenarioError
+// wrapping one of these sentinels when the Scenario is malformed; test
+// with errors.Is and recover detail with errors.As.
+var (
+	ErrNoPrimaries   = harness.ErrNoPrimaries
+	ErrBadCoreCounts = harness.ErrBadCoreCounts
+	ErrBadDuration   = harness.ErrBadDuration
+	ErrBadWindow     = harness.ErrBadWindow
+	ErrBadChurn      = harness.ErrBadChurn
+	ErrUnknownBatch  = harness.ErrUnknownBatch
+)
+
+// ScenarioError reports which scenario and field failed validation.
+type ScenarioError = harness.ScenarioError
+
 // Run executes a scenario on the simulated machine and returns its
-// results. Runs are deterministic given Scenario.Seed.
-func Run(s Scenario) (*Result, error) { return harness.Run(s) }
+// results. Runs are deterministic given Scenario.Seed — with an observer
+// attached, so is the event stream. Validation failures return a
+// *ScenarioError wrapping one of the Err* sentinels.
+func Run(s Scenario, opts ...ScenarioOption) (*Result, error) { return harness.Run(s, opts...) }
 
 // RunOption configures RunAll.
 type RunOption = harness.RunOption
@@ -201,3 +246,73 @@ func SquareWave(high, low int, halfPeriod Time) PrimarySpec {
 func MemcachedVaryingLoad(phaseQPS []float64, phaseLen Time) PrimarySpec {
 	return apps.MemcachedVaryingLoad(phaseQPS, phaseLen)
 }
+
+// Observability — the typed event stream a run can emit (see
+// Scenario.Observer / WithObserver). With no observer attached the hot
+// path performs no allocation and no interface calls; with one attached,
+// events arrive synchronously in deterministic order, so a trace is a
+// pure function of the scenario and seed.
+
+// Observer receives a run's typed events. Embed NopObserver and override
+// the methods you care about.
+type Observer = obs.Observer
+
+// NopObserver implements Observer with no-ops, for embedding.
+type NopObserver = obs.NopObserver
+
+// Event types delivered to an Observer.
+type (
+	// PollSample is one busy-poll reading (every PollInterval).
+	PollSample = obs.PollSample
+	// WindowEnd is one learning-window decision: features, the raw
+	// prediction, and the clamped target that was applied.
+	WindowEnd = obs.WindowEnd
+	// SafeguardTrip fires when the short-term safeguard cuts a window.
+	SafeguardTrip = obs.SafeguardTrip
+	// QoSTrip fires when the long-term safeguard pauses harvesting.
+	QoSTrip = obs.QoSTrip
+	// QoSResume fires once a harvest pause has expired.
+	QoSResume = obs.QoSResume
+	// Resize is one core-reassignment request with its latency.
+	Resize = obs.Resize
+	// ChurnApplied fires after a primary-VM arrival/departure.
+	ChurnApplied = obs.ChurnApplied
+	// BatchProgress fires at batch-job phase boundaries.
+	BatchProgress = obs.BatchProgress
+	// WindowFeatures are the per-window busy-sample statistics.
+	WindowFeatures = obs.Features
+)
+
+// ClampReason explains why a window's applied target differs from the
+// controller's raw prediction.
+type ClampReason = obs.ClampReason
+
+// Clamp reasons carried by WindowEnd events.
+const (
+	ClampNone      = obs.ClampNone
+	ClampPaused    = obs.ClampPaused
+	ClampBusyFloor = obs.ClampBusyFloor
+	ClampAllocCap  = obs.ClampAllocCap
+)
+
+// TraceSchemaVersion is the "v" field every JSONL trace line carries.
+const TraceSchemaVersion = obs.SchemaVersion
+
+// EventRing returns an in-memory flight recorder keeping the most recent
+// capacity events.
+func EventRing(capacity int) *obs.Ring { return obs.NewRing(capacity) }
+
+// TraceWriter returns a streaming JSONL trace sink writing to w. Call
+// Flush when the run is done. TraceOmitPolls drops poll samples, which
+// dominate trace volume ~1000:1.
+func TraceWriter(w io.Writer, opts ...obs.JSONLOption) *obs.JSONL { return obs.NewJSONL(w, opts...) }
+
+// TraceOmitPolls configures TraceWriter to drop PollSample events.
+func TraceOmitPolls() obs.JSONLOption { return obs.JSONLOmitPolls() }
+
+// EventMetrics returns an aggregating sink that folds the event stream
+// into counters and summary statistics.
+func EventMetrics() *obs.Metrics { return obs.NewMetrics() }
+
+// MultiObserver fans one event stream out to several observers.
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
