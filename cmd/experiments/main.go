@@ -28,6 +28,9 @@
 //	-trace DIR write one JSONL event trace per scenario into DIR
 //	           (poll samples omitted; see internal/obs). Traces are
 //	           byte-identical at any -parallel setting.
+//	-check     attach the invariant checker (internal/check) to every
+//	           scenario run; any violation fails its experiment with the
+//	           checker's report, and a verification tally is printed
 //	-list      list experiment IDs and exit
 package main
 
@@ -63,6 +66,7 @@ func main() {
 	quick := flag.Bool("quick", false, "short runs (6s simulated)")
 	outDir := flag.String("out", "", "directory to also write per-experiment reports to")
 	traceDir := flag.String("trace", "", "directory to write per-scenario JSONL event traces to")
+	checkRuns := flag.Bool("check", false, "verify safety invariants on every scenario run (fails the experiment on violation)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -79,6 +83,7 @@ func main() {
 		Seed:     *seed,
 		Parallel: *parallel,
 		TraceDir: *traceDir,
+		Check:    *checkRuns,
 	}
 	if *quick {
 		cfg.Duration = 6 * sim.Second
@@ -156,6 +161,13 @@ func main() {
 
 	if len(ids) > 1 {
 		printSummary(outputs, time.Since(wallStart), harness.SimTimeExecuted()-simStart, workers)
+	}
+	if *checkRuns {
+		runs, violations := experiments.CheckStats()
+		fmt.Printf("invariant checks: %d scenario runs verified, %d violations\n", runs, violations)
+		if violations > 0 {
+			exitCode = 1
+		}
 	}
 	os.Exit(exitCode)
 }

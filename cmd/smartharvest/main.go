@@ -119,6 +119,7 @@ func main() {
 	guard := flag.Bool("long-term-safeguard", true, "enable the long-term QoS safeguard")
 	speedup := flag.Bool("speedup", false, "also run a NoHarvest baseline and report the batch speedup")
 	trace := flag.String("trace", "", "write a JSONL event trace of the run to this file (poll samples included)")
+	checkRun := flag.Bool("check", false, "verify the run against the safety invariants and print the report (exit 1 on violation)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -179,6 +180,14 @@ func main() {
 		s.Observer = sink
 	}
 
+	var checker *smartharvest.Checker
+	if *checkRun {
+		// With -speedup, only the harvesting run is verified: the baseline
+		// scenario drops the checker (one checker verifies one run).
+		checker = smartharvest.NewChecker()
+		s.Checker = checker
+	}
+
 	start := time.Now()
 	var res *smartharvest.Result
 	if *speedup {
@@ -212,4 +221,10 @@ func main() {
 		res.Windows, res.Resizes, res.Safeguards, res.QoSTrips)
 	fmt.Printf("reassignment: grow P99 %s, shrink P99 %s\n",
 		fmtNS(res.Grow.P99), fmtNS(res.Shrink.P99))
+	if res.Check != nil {
+		fmt.Print(res.Check)
+		if !res.Check.OK() {
+			os.Exit(1)
+		}
+	}
 }

@@ -1,0 +1,276 @@
+package check_test
+
+// The mutant gallery proves the checker is not vacuous: it captures the
+// event stream of a real SmartHarvest run, replays deliberately corrupted
+// copies — each modeling a plausible agent/hypervisor bug (off-by-one
+// resize, skipped safeguard re-arm, stale prediction, ...) — into fresh
+// checkers, and asserts every mutant is flagged while the unmodified
+// stream stays clean.
+
+import (
+	"testing"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/check"
+	"smartharvest/internal/core"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sim"
+)
+
+// recorder captures the full event stream as obs.Records.
+type recorder struct {
+	recs []obs.Record
+}
+
+func (r *recorder) OnPollSample(e obs.PollSample) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPollSample, PollSample: e})
+}
+func (r *recorder) OnWindowEnd(e obs.WindowEnd) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindWindowEnd, WindowEnd: e})
+}
+func (r *recorder) OnSafeguardTrip(e obs.SafeguardTrip) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindSafeguardTrip, SafeguardTrip: e})
+}
+func (r *recorder) OnQoSTrip(e obs.QoSTrip) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindQoSTrip, QoSTrip: e})
+}
+func (r *recorder) OnQoSResume(e obs.QoSResume) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindQoSResume, QoSResume: e})
+}
+func (r *recorder) OnResize(e obs.Resize) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindResize, Resize: e})
+}
+func (r *recorder) OnChurnApplied(e obs.ChurnApplied) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindChurnApplied, ChurnApplied: e})
+}
+func (r *recorder) OnBatchProgress(e obs.BatchProgress) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindBatchProgress, BatchProgress: e})
+}
+
+// replay feeds captured records into a checker as if the run were live.
+func replay(c *check.Checker, recs []obs.Record) *check.Report {
+	for _, r := range recs {
+		switch r.Kind {
+		case obs.KindPollSample:
+			c.OnPollSample(r.PollSample)
+		case obs.KindWindowEnd:
+			c.OnWindowEnd(r.WindowEnd)
+		case obs.KindSafeguardTrip:
+			c.OnSafeguardTrip(r.SafeguardTrip)
+		case obs.KindQoSTrip:
+			c.OnQoSTrip(r.QoSTrip)
+		case obs.KindQoSResume:
+			c.OnQoSResume(r.QoSResume)
+		case obs.KindResize:
+			c.OnResize(r.Resize)
+		case obs.KindChurnApplied:
+			c.OnChurnApplied(r.ChurnApplied)
+		case obs.KindBatchProgress:
+			c.OnBatchProgress(r.BatchProgress)
+		}
+	}
+	return c.Finish()
+}
+
+// captureStream runs the standard Memcached+CPUBully scenario once and
+// returns the full event stream plus the config a checker binds to. The
+// run is deterministic, so every subtest mutates the same baseline.
+func captureStream(t *testing.T) ([]obs.Record, check.Config) {
+	t.Helper()
+	rec := &recorder{}
+	s := harness.Scenario{
+		Name:              "mutant-baseline",
+		Primaries:         []apps.PrimarySpec{apps.Memcached(40000)},
+		Batch:             harness.BatchCPUBully,
+		Duration:          1 * sim.Second,
+		Warmup:            200 * sim.Millisecond,
+		Seed:              1,
+		LongTermSafeguard: true,
+		Observer:          rec,
+	}
+	if _, err := harness.Run(s); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if len(rec.recs) == 0 {
+		t.Fatal("baseline run produced no events")
+	}
+	agentCfg := core.DefaultConfig(10, 1)
+	return rec.recs, check.Config{
+		TotalCores:        11,
+		PrimaryAlloc:      10,
+		PrimaryVMCores:    10,
+		ElasticMin:        1,
+		HarvestPause:      agentCfg.HarvestPause,
+		QoSViolationFrac:  agentCfg.QoSViolationFrac,
+		LongTermSafeguard: true,
+	}
+}
+
+// indexOf returns the stream index of the n-th record matching pred.
+func indexOf(t *testing.T, recs []obs.Record, what string, pred func(obs.Record) bool) int {
+	t.Helper()
+	for i, r := range recs {
+		if pred(r) {
+			return i
+		}
+	}
+	t.Fatalf("baseline stream has no %s", what)
+	return -1
+}
+
+func TestMutantGallery(t *testing.T) {
+	recs, cfg := captureStream(t)
+
+	t.Run("clean baseline passes", func(t *testing.T) {
+		rep := replay(bound(t, cfg), recs)
+		wantClean(t, rep)
+		if rep.Events != uint64(len(recs)) {
+			t.Fatalf("checker saw %d events, stream has %d", rep.Events, len(recs))
+		}
+	})
+
+	isResize := func(r obs.Record) bool { return r.Kind == obs.KindResize }
+	isWindow := func(r obs.Record) bool { return r.Kind == obs.KindWindowEnd }
+	isTrip := func(r obs.Record) bool { return r.Kind == obs.KindSafeguardTrip }
+
+	// Each mutant corrupts a copy of the stream the way a real bug in the
+	// agent or hypervisor would, and names the invariant that must catch
+	// it.
+	mutants := []struct {
+		name      string
+		invariant string
+		mutate    func(recs []obs.Record) []obs.Record
+	}{
+		{
+			// A resize lands one core away from what was requested — the
+			// classic off-by-one in the core-moving loop. The next resize's
+			// FromCores exposes the broken chain.
+			name:      "off-by-one resize",
+			invariant: check.InvResizeChain,
+			mutate: func(recs []obs.Record) []obs.Record {
+				i := indexOf(t, recs, "resize", isResize)
+				recs[i].Resize.ToCores--
+				if recs[i].Resize.ToCores == recs[i].Resize.FromCores {
+					recs[i].Resize.ToCores -= 2
+				}
+				return recs
+			},
+		},
+		{
+			// The hypervisor grows the primary group past its allocation,
+			// eating the ElasticVM's guaranteed core.
+			name:      "resize steals the elastic minimum",
+			invariant: check.InvConservation,
+			mutate: func(recs []obs.Record) []obs.Record {
+				i := indexOf(t, recs, "resize", isResize)
+				recs[i].Resize.FromCores = 10 // keep the chain intact
+				recs[i].Resize.ToCores = 11   // total cores: none left for the EVM
+				return recs
+			},
+		},
+		{
+			// The safeguard fires but the agent forgets to re-arm the
+			// window: the trip's safeguard decision never happens (the next
+			// window is an ordinary one).
+			name:      "skipped safeguard re-arm",
+			invariant: check.InvSafeguard,
+			mutate: func(recs []obs.Record) []obs.Record {
+				i := indexOf(t, recs, "safeguard trip", isTrip)
+				// The window immediately after the trip is its decision;
+				// a buggy agent would deliver it unflagged.
+				recs[i+1].WindowEnd.Safeguard = false
+				return recs
+			},
+		},
+		{
+			// The agent applies a target computed from a stale prediction:
+			// the reported prediction and the applied target disagree under
+			// the clamp rule target == min(max(pred, busy+1), alloc).
+			name:      "stale prediction",
+			invariant: check.InvClamp,
+			mutate: func(recs []obs.Record) []obs.Record {
+				i := indexOf(t, recs, "unclamped window", func(r obs.Record) bool {
+					return isWindow(r) && r.WindowEnd.Clamp == obs.ClampNone
+				})
+				recs[i].WindowEnd.Prediction++ // target no longer matches
+				return recs
+			},
+		},
+		{
+			// The sim's event loop delivers a window out of time order.
+			name:      "time regression",
+			invariant: check.InvTimeMonotonic,
+			mutate: func(recs []obs.Record) []obs.Record {
+				i := indexOf(t, recs, "second window", func(r obs.Record) bool {
+					return isWindow(r) && r.WindowEnd.Seq == 2
+				})
+				recs[i].WindowEnd.At = 0
+				return recs
+			},
+		},
+		{
+			// The agent drops a whole learning window (a lost timer tick):
+			// the sequence numbering gaps.
+			name:      "dropped window",
+			invariant: check.InvWindowSeq,
+			mutate: func(recs []obs.Record) []obs.Record {
+				i := indexOf(t, recs, "window", isWindow)
+				return append(recs[:i:i], recs[i+1:]...)
+			},
+		},
+		{
+			// The peak tracker forgets this window's own peak, so the
+			// trailing-second peak under-reports (a prediction fed by it
+			// would under-allocate).
+			name:      "peak history excludes current window",
+			invariant: check.InvWindowShape,
+			mutate: func(recs []obs.Record) []obs.Record {
+				i := indexOf(t, recs, "busy window", func(r obs.Record) bool {
+					return isWindow(r) && r.WindowEnd.Features.Max > 0
+				})
+				recs[i].WindowEnd.Peak1s = recs[i].WindowEnd.Features.Max - 1
+				return recs
+			},
+		},
+	}
+
+	for _, m := range mutants {
+		t.Run(m.name, func(t *testing.T) {
+			mutated := m.mutate(append([]obs.Record(nil), recs...))
+			rep := replay(bound(t, cfg), mutated)
+			wantViolation(t, rep, m.invariant)
+			if len(rep.Context) == 0 {
+				t.Fatal("violation report carries no ring-buffer context")
+			}
+		})
+	}
+}
+
+// TestMutantPauseTooShort covers the long-term safeguard's exact-duration
+// invariant on a synthetic stream (the calibrated workloads don't trip
+// the QoS guard in a healthy short run, so there is nothing to mutate in
+// the captured stream).
+func TestMutantPauseTooShort(t *testing.T) {
+	_, cfg := captureStream(t)
+	c := bound(t, cfg)
+	c.OnQoSTrip(obs.QoSTrip{
+		At: sim.Second, Frac: 0.05, Waits: 40,
+		// A buggy agent pauses for half the mandated duration.
+		PauseUntil: sim.Second + cfg.HarvestPause/2,
+	})
+	wantViolation(t, c.Finish(), check.InvPauseDuration)
+}
+
+// TestMutantHarvestWhilePaused: the agent keeps harvesting during a QoS
+// pause — the exact failure the long-term safeguard exists to prevent.
+func TestMutantHarvestWhilePaused(t *testing.T) {
+	_, cfg := captureStream(t)
+	c := bound(t, cfg)
+	c.OnResize(obs.Resize{At: 1, FromCores: 10, ToCores: 4})
+	c.OnQoSTrip(obs.QoSTrip{At: sim.Second, Frac: 0.05, Waits: 40, PauseUntil: sim.Second + cfg.HarvestPause})
+	c.OnResize(obs.Resize{At: sim.Second, FromCores: 4, ToCores: 10})
+	// Mid-pause, a buggy agent resumes harvesting.
+	c.OnResize(obs.Resize{At: 2 * sim.Second, FromCores: 10, ToCores: 5})
+	wantViolation(t, c.Finish(), check.InvPausedHarvest)
+}

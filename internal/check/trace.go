@@ -1,0 +1,204 @@
+package check
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"smartharvest/internal/obs"
+)
+
+// TraceError is one well-formedness problem in a JSONL trace.
+type TraceError struct {
+	// Line is the 1-based line number in the trace.
+	Line int
+	// Detail explains the problem.
+	Detail string
+}
+
+func (e TraceError) String() string {
+	return fmt.Sprintf("trace line %d: %s", e.Line, e.Detail)
+}
+
+// fieldKind is the JSON type a schema field must carry.
+type fieldKind int
+
+const (
+	fNum fieldKind = iota
+	fBool
+	fStr
+)
+
+// traceSchema maps each event name to its required per-event fields (the
+// common "v"/"ev"/"t" prefix is checked separately). This mirrors the
+// encoder in internal/obs/jsonl.go; a field added there without a schema
+// update here fails the unknown-field check in the validator's own tests.
+var traceSchema = map[string]map[string]fieldKind{
+	obs.KindPollSample.String(): {"busy": fNum, "target": fNum},
+	obs.KindWindowEnd.String(): {
+		"seq": fNum, "samples": fNum, "min": fNum, "peak": fNum,
+		"avg": fNum, "std": fNum, "median": fNum, "peak1s": fNum,
+		"busy": fNum, "safeguard": fBool, "pred": fNum, "target": fNum,
+		"clamp": fStr,
+	},
+	obs.KindSafeguardTrip.String(): {"busy": fNum, "target": fNum},
+	obs.KindQoSTrip.String():       {"frac": fNum, "waits": fNum, "pause_until": fNum},
+	obs.KindQoSResume.String():     {},
+	obs.KindResize.String():        {"from": fNum, "to": fNum, "mech": fStr, "latency": fNum},
+	obs.KindChurnApplied.String():  {"arrived": fStr, "departed": fNum, "live": fNum, "alloc": fNum},
+	obs.KindBatchProgress.String(): {"job": fStr, "phase": fNum, "phases": fNum, "finished": fBool},
+}
+
+// validClamp is the closed set of clamp-reason strings a window decision
+// may carry.
+var validClamp = map[string]bool{
+	obs.ClampNone.String():      true,
+	obs.ClampPaused.String():    true,
+	obs.ClampBusyFloor.String(): true,
+	obs.ClampAllocCap.String():  true,
+}
+
+// maxTraceErrors caps the errors ValidateTrace returns; a corrupt trace
+// would otherwise produce one per line.
+const maxTraceErrors = 100
+
+// ValidateTrace checks a JSONL trace (as written by obs.NewJSONL) for
+// well-formedness: every line is a JSON object carrying the current
+// schema version, a known event name, a non-negative timestamp that
+// never decreases across lines, exactly the fields that event requires
+// with the right JSON types, and — for window decisions — a clamp reason
+// from the documented set. It stops collecting after maxTraceErrors
+// problems. The returned error reports a read failure, not trace
+// content; a readable-but-invalid trace returns (errs, nil).
+func ValidateTrace(r io.Reader) ([]TraceError, error) {
+	var errs []TraceError
+	add := func(line int, format string, args ...any) {
+		if len(errs) < maxTraceErrors {
+			errs = append(errs, TraceError{Line: line, Detail: fmt.Sprintf(format, args...)})
+		}
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	lastT := int64(-1)
+	for sc.Scan() {
+		line++
+		if len(errs) >= maxTraceErrors {
+			break
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			add(line, "empty line")
+			continue
+		}
+		var fields map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			add(line, "not a JSON object: %v", err)
+			continue
+		}
+
+		// Common prefix: schema version, event name, timestamp.
+		v, ok := numField(fields, "v")
+		if !ok {
+			add(line, `missing or non-numeric "v"`)
+			continue
+		}
+		if int64(v) != obs.SchemaVersion {
+			add(line, "schema version %g, want %d", v, obs.SchemaVersion)
+		}
+		ev, ok := strField(fields, "ev")
+		if !ok {
+			add(line, `missing or non-string "ev"`)
+			continue
+		}
+		schema, known := traceSchema[ev]
+		if !known {
+			add(line, "unknown event %q", ev)
+			continue
+		}
+		t, ok := numField(fields, "t")
+		if !ok {
+			add(line, `missing or non-numeric "t"`)
+			continue
+		}
+		if t < 0 {
+			add(line, "negative timestamp %g", t)
+		}
+		if int64(t) < lastT {
+			add(line, "timestamp %d precedes previous line's %d (event ordering)", int64(t), lastT)
+		} else {
+			lastT = int64(t)
+		}
+
+		// Per-event fields: all required present with the right type, no
+		// extras beyond the schema.
+		for name, kind := range schema {
+			rawv, present := fields[name]
+			if !present {
+				add(line, "%s event missing %q", ev, name)
+				continue
+			}
+			if !typeMatches(rawv, kind) {
+				add(line, "%s field %q has the wrong JSON type", ev, name)
+			}
+		}
+		for name := range fields {
+			if name == "v" || name == "ev" || name == "t" {
+				continue
+			}
+			if _, want := schema[name]; !want {
+				add(line, "%s event has unknown field %q", ev, name)
+			}
+		}
+		if ev == obs.KindWindowEnd.String() {
+			if clamp, ok := strField(fields, "clamp"); ok && !validClamp[clamp] {
+				add(line, "unknown clamp reason %q", clamp)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return errs, fmt.Errorf("check: reading trace: %w", err)
+	}
+	return errs, nil
+}
+
+func numField(fields map[string]json.RawMessage, name string) (float64, bool) {
+	raw, ok := fields[name]
+	if !ok {
+		return 0, false
+	}
+	var v float64
+	if json.Unmarshal(raw, &v) != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func strField(fields map[string]json.RawMessage, name string) (string, bool) {
+	raw, ok := fields[name]
+	if !ok {
+		return "", false
+	}
+	var v string
+	if json.Unmarshal(raw, &v) != nil {
+		return "", false
+	}
+	return v, true
+}
+
+func typeMatches(raw json.RawMessage, kind fieldKind) bool {
+	switch kind {
+	case fNum:
+		var v float64
+		return json.Unmarshal(raw, &v) == nil
+	case fBool:
+		var v bool
+		return json.Unmarshal(raw, &v) == nil
+	case fStr:
+		var v string
+		return json.Unmarshal(raw, &v) == nil
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package check_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/check"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sim"
+)
+
+// realTrace runs a short scenario with a JSONL sink (polls included, so
+// every event kind's encoder is exercised) and returns the trace bytes.
+func realTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	_, err := harness.Run(harness.Scenario{
+		Name:      "trace-validate",
+		Primaries: []apps.PrimarySpec{apps.Memcached(40000)},
+		Duration:  500 * sim.Millisecond,
+		Warmup:    100 * sim.Millisecond,
+		Seed:      1,
+		Observer:  sink,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestValidateTraceCleanRun(t *testing.T) {
+	trace := realTrace(t)
+	errs, err := check.ValidateTrace(bytes.NewReader(trace))
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+	if len(errs) != 0 {
+		t.Fatalf("clean trace flagged: %v", errs[:min(len(errs), 5)])
+	}
+}
+
+func TestValidateTraceCorruptions(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want string // substring of the expected error detail
+	}{
+		{"not json", `garbage`, "not a JSON object"},
+		{"missing version", `{"ev":"resize","t":1,"from":10,"to":5,"mech":"cpugroups","latency":1}`, `"v"`},
+		{"wrong version", `{"v":99,"ev":"resize","t":1,"from":10,"to":5,"mech":"cpugroups","latency":1}`, "schema version"},
+		{"unknown event", `{"v":1,"ev":"teleport","t":1}`, "unknown event"},
+		{"missing timestamp", `{"v":1,"ev":"qos-resume"}`, `"t"`},
+		{"negative timestamp", `{"v":1,"ev":"qos-resume","t":-5}`, "negative timestamp"},
+		{"missing field", `{"v":1,"ev":"resize","t":1,"from":10,"mech":"cpugroups","latency":1}`, `missing "to"`},
+		{"wrong field type", `{"v":1,"ev":"resize","t":1,"from":"ten","to":5,"mech":"cpugroups","latency":1}`, "wrong JSON type"},
+		{"unknown field", `{"v":1,"ev":"qos-resume","t":1,"bonus":1}`, "unknown field"},
+		{"bad clamp", `{"v":1,"ev":"window","t":1,"seq":1,"samples":1,"min":0,"peak":0,"avg":0,"std":0,"median":0,"peak1s":0,"busy":0,"safeguard":false,"pred":1,"target":1,"clamp":"vibes"}`, "unknown clamp"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs, err := check.ValidateTrace(strings.NewReader(tc.line + "\n"))
+			if err != nil {
+				t.Fatalf("ValidateTrace: %v", err)
+			}
+			if len(errs) == 0 {
+				t.Fatalf("corrupt line accepted: %s", tc.line)
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Detail, tc.want) {
+					found = true
+				}
+				if e.Line != 1 {
+					t.Fatalf("error on line %d, want 1: %s", e.Line, e)
+				}
+			}
+			if !found {
+				t.Fatalf("no error mentions %q: %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestValidateTraceEventOrdering(t *testing.T) {
+	trace := `{"v":1,"ev":"qos-resume","t":100}
+{"v":1,"ev":"qos-resume","t":50}
+`
+	errs, err := check.ValidateTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+	if len(errs) != 1 || errs[0].Line != 2 || !strings.Contains(errs[0].Detail, "precedes") {
+		t.Fatalf("ordering violation not flagged on line 2: %v", errs)
+	}
+}
+
+func TestValidateTraceMutatedRealTrace(t *testing.T) {
+	trace := realTrace(t)
+	lines := bytes.Split(bytes.TrimRight(trace, "\n"), []byte("\n"))
+	if len(lines) < 10 {
+		t.Fatalf("trace too short to mutate: %d lines", len(lines))
+	}
+	// Corrupt one mid-trace line: strip its closing brace.
+	i := len(lines) / 2
+	lines[i] = lines[i][:len(lines[i])-1]
+	errs, err := check.ValidateTrace(bytes.NewReader(bytes.Join(lines, []byte("\n"))))
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+	if len(errs) == 0 {
+		t.Fatal("truncated line accepted")
+	}
+	if errs[0].Line != i+1 {
+		t.Fatalf("error on line %d, want %d", errs[0].Line, i+1)
+	}
+}
+
+func TestValidateTraceErrorCap(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 300; i++ {
+		b.WriteString("garbage\n")
+	}
+	errs, err := check.ValidateTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+	if len(errs) != 100 {
+		t.Fatalf("got %d errors, want the 100 cap", len(errs))
+	}
+}

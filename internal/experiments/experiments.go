@@ -18,8 +18,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"smartharvest/internal/apps"
+	"smartharvest/internal/check"
 	"smartharvest/internal/core"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/metrics"
@@ -45,6 +47,21 @@ type Config struct {
 	// ~1000:1). Each scenario owns its file, so traces are byte-identical
 	// at any Parallel setting. The directory must exist.
 	TraceDir string
+	// Check attaches an invariant checker (internal/check) to every
+	// scenario run; any violation fails the experiment with the checker's
+	// report. CheckStats reports the process-wide tally.
+	Check bool
+}
+
+// checkedRuns and checkViolations tally invariant-checked scenario runs
+// across all experiments in this process (experiments may run
+// concurrently under cmd/experiments).
+var checkedRuns, checkViolations atomic.Int64
+
+// CheckStats returns how many scenario runs were invariant-verified so
+// far in this process and how many violations they produced in total.
+func CheckStats() (runs, violations int64) {
+	return checkedRuns.Load(), checkViolations.Load()
 }
 
 // Default returns the full-length configuration (30 s measured per run,
@@ -59,8 +76,41 @@ func Quick() Config {
 }
 
 // runAll executes scenarios on the configured worker pool, attaching a
-// per-scenario JSONL trace writer when cfg.TraceDir is set.
+// per-scenario JSONL trace writer when cfg.TraceDir is set and an
+// invariant checker per scenario when cfg.Check is set.
 func runAll(cfg Config, scenarios []harness.Scenario) ([]*harness.Result, error) {
+	if cfg.Check {
+		for i := range scenarios {
+			scenarios[i].Checker = check.New()
+		}
+	}
+	results, err := runTraced(cfg, scenarios)
+	if err != nil {
+		return results, err
+	}
+	if cfg.Check {
+		var errs []error
+		for i, res := range results {
+			if res == nil || res.Check == nil {
+				continue
+			}
+			checkedRuns.Add(1)
+			if !res.Check.OK() {
+				checkViolations.Add(int64(len(res.Check.Violations) + res.Check.Dropped))
+				errs = append(errs, fmt.Errorf("experiments: scenario %d (%s) violated invariants:\n%s",
+					i, scenarios[i].Name, res.Check))
+			}
+		}
+		if len(errs) > 0 {
+			return results, errors.Join(errs...)
+		}
+	}
+	return results, nil
+}
+
+// runTraced is runAll minus checking: the worker pool plus optional
+// per-scenario JSONL traces.
+func runTraced(cfg Config, scenarios []harness.Scenario) ([]*harness.Result, error) {
 	if cfg.TraceDir == "" {
 		return harness.RunAll(scenarios, harness.Parallelism(cfg.Parallel))
 	}

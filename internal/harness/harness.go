@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"smartharvest/internal/apps"
+	"smartharvest/internal/check"
 	"smartharvest/internal/core"
 	"smartharvest/internal/hypervisor"
 	"smartharvest/internal/metrics"
@@ -137,6 +138,12 @@ type Scenario struct {
 	// simulation goroutine, so a deterministic scenario produces a
 	// byte-identical trace regardless of RunAll parallelism.
 	Observer obs.Observer
+	// Checker, when non-nil, verifies the run's event stream against the
+	// safety invariants (see internal/check). Run binds it to the resolved
+	// scenario, chains it after Observer, folds the hypervisor's end-of-run
+	// state check into it, and reports the outcome in Result.Check. A
+	// Checker verifies exactly one run; reuse is rejected at Bind.
+	Checker *check.Checker
 }
 
 // ScenarioOption adjusts a Scenario at Run time without mutating the
@@ -156,6 +163,12 @@ func WithSeed(seed uint64) ScenarioOption {
 // WithDuration overrides the measured run length.
 func WithDuration(d sim.Time) ScenarioOption {
 	return func(s *Scenario) { s.Duration = d }
+}
+
+// WithChecker attaches an invariant checker to the run. Run binds it and
+// places its Report in Result.Check; pass a fresh check.New() per run.
+func WithChecker(c *check.Checker) ScenarioOption {
+	return func(s *Scenario) { s.Checker = c }
 }
 
 // ChurnEvent is one primary-VM arrival or departure.
@@ -222,6 +235,10 @@ type Result struct {
 	// QoSViolations is the per-500ms fraction of bad dispatch waits, if
 	// RecordSeries.
 	QoSViolations *metrics.Series
+
+	// Check is the invariant-verification report when Scenario.Checker was
+	// attached; nil otherwise. Check.OK() reports a clean run.
+	Check *check.Report
 }
 
 // machineHV adapts the simulated machine to the agent's black-box
@@ -353,6 +370,43 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	total := maxAlloc + s.ElasticMin
 
 	loop := sim.NewLoop()
+
+	// The controller and agent config are resolved before the machine so
+	// an attached checker can be bound to the run's final parameters and
+	// chained into the observer both layers share.
+	ctrl := s.Controller(maxAlloc)
+	agentCfg := core.DefaultConfig(maxAlloc, s.ElasticMin)
+	agentCfg.Window = s.Window
+	agentCfg.PollInterval = s.PollInterval
+	// The long-term QoS guard belongs to SmartHarvest-style policies;
+	// the paper's baselines (fixed buffer, PrevPeak) run without it.
+	agentCfg.LongTermSafeguard = s.LongTermSafeguard && ctrl.Safeguards()
+	agentCfg.RecordSeries = s.RecordSeries
+	if s.QoSWaitThreshold > 0 {
+		agentCfg.QoSWaitThreshold = s.QoSWaitThreshold
+	}
+	if s.QoSViolationFrac > 0 {
+		agentCfg.QoSViolationFrac = s.QoSViolationFrac
+	}
+	if s.Mechanism == hypervisor.IPI {
+		agentCfg.PostResizeSleep = 0
+	}
+	if s.Checker != nil {
+		if err := s.Checker.Bind(check.Config{
+			TotalCores:        total,
+			PrimaryAlloc:      alloc,
+			PrimaryVMCores:    s.PrimaryVMCores,
+			ElasticMin:        s.ElasticMin,
+			HarvestPause:      agentCfg.HarvestPause,
+			QoSViolationFrac:  agentCfg.QoSViolationFrac,
+			LongTermSafeguard: agentCfg.LongTermSafeguard,
+		}); err != nil {
+			return nil, err
+		}
+		s.Observer = obs.Multi(s.Observer, s.Checker)
+	}
+	agentCfg.Observer = s.Observer
+
 	hvCfg := hypervisor.DefaultConfig(total)
 	hvCfg.Mechanism = s.Mechanism
 	hvCfg.Seed = rng.Uint64()
@@ -406,25 +460,8 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 
 	// Agent. The controller is sized for the maximum concurrent
 	// allocation so it can follow churn; the agent starts at the initial
-	// allocation.
-	agentCfg := core.DefaultConfig(maxAlloc, s.ElasticMin)
-	agentCfg.Window = s.Window
-	agentCfg.PollInterval = s.PollInterval
-	agentCfg.Observer = s.Observer
-	ctrl := s.Controller(maxAlloc)
-	// The long-term QoS guard belongs to SmartHarvest-style policies;
-	// the paper's baselines (fixed buffer, PrevPeak) run without it.
-	agentCfg.LongTermSafeguard = s.LongTermSafeguard && ctrl.Safeguards()
-	agentCfg.RecordSeries = s.RecordSeries
-	if s.QoSWaitThreshold > 0 {
-		agentCfg.QoSWaitThreshold = s.QoSWaitThreshold
-	}
-	if s.QoSViolationFrac > 0 {
-		agentCfg.QoSViolationFrac = s.QoSViolationFrac
-	}
-	if s.Mechanism == hypervisor.IPI {
-		agentCfg.PostResizeSleep = 0
-	}
+	// allocation. (agentCfg and ctrl were resolved above, before the
+	// machine, so the checker could bind to them.)
 	agent, err := core.NewAgent(loop, machineHV{machine}, ctrl, agentCfg)
 	if err != nil {
 		return nil, err
@@ -589,6 +626,15 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 		res.TargetSeries = agent.TargetSeries()
 		res.PeakSeries = agent.PeakSeries()
 		res.QoSViolations = agent.QoSViolationSeries()
+	}
+	if s.Checker != nil {
+		// Fold the hypervisor's end-of-run state self-check into the
+		// report: the event stream can look legal while the machine's
+		// internal accounting drifted.
+		if err := machine.CheckInvariants(); err != nil {
+			s.Checker.Flag(check.InvMachineState, loop.Now(), err.Error())
+		}
+		res.Check = s.Checker.Finish()
 	}
 	simTimeExecuted.Add(int64(loop.Now()))
 	return res, nil

@@ -103,6 +103,8 @@ func BaselineScenario(s Scenario) Scenario {
 	base.Name = s.Name + "-baseline"
 	base.Controller = NoHarvestFactory()
 	base.LongTermSafeguard = false
+	// A Checker verifies exactly one run; the baseline needs its own.
+	base.Checker = nil
 	return base
 }
 

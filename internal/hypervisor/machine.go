@@ -384,6 +384,50 @@ func (m *Machine) Resizes() uint64 { return m.resizes }
 // or scheduling-boundary group changes.
 func (m *Machine) Preemptions() uint64 { return m.preemptions }
 
+// CheckInvariants verifies the machine's internal accounting: physical and
+// logical core counts both sum to TotalCores (core conservation across the
+// two groups), per-group counts match the cores actually assigned, every
+// running vCPU's back-pointer is coherent, and no VM runs more vCPUs than
+// its allocation. It returns a descriptive error for the first violation
+// found, or nil. The soak/property tests call it between random operations,
+// and internal/check folds it into a run's end-of-run verification.
+func (m *Machine) CheckInvariants() error {
+	sumPhys, sumLog := 0, 0
+	for g := GroupID(0); g < numGroups; g++ {
+		sumPhys += m.counts[g]
+		sumLog += m.logical[g]
+	}
+	if sumPhys != m.cfg.TotalCores || sumLog != m.cfg.TotalCores {
+		return fmt.Errorf("hypervisor: core conservation violated: physical %d, logical %d, total %d",
+			sumPhys, sumLog, m.cfg.TotalCores)
+	}
+	perGroup := map[GroupID]int{}
+	running := map[*VM]int{}
+	for _, c := range m.cores {
+		perGroup[c.group]++
+		if c.running != nil {
+			running[c.running.vm]++
+			if c.running.core != c {
+				return fmt.Errorf("hypervisor: vCPU/core back-pointer mismatch on core %d", c.id)
+			}
+		}
+	}
+	for g := GroupID(0); g < numGroups; g++ {
+		if perGroup[g] != m.counts[g] {
+			return fmt.Errorf("hypervisor: group %v count %d != actual %d", g, m.counts[g], perGroup[g])
+		}
+	}
+	for vm, n := range running {
+		if n != vm.running {
+			return fmt.Errorf("hypervisor: VM %s running count %d != actual %d", vm.name, vm.running, n)
+		}
+		if n > vm.alloc {
+			return fmt.Errorf("hypervisor: VM %s exceeds alloc: %d running > %d", vm.name, n, vm.alloc)
+		}
+	}
+	return nil
+}
+
 // ResizeLatency returns how long the hypercalls for one resize take on the
 // current mechanism; the agent is blocked for this long when it resizes.
 func (m *Machine) ResizeLatency() sim.Time {

@@ -24,38 +24,8 @@ func newTestMachine(t *testing.T, cores int, mech Mechanism) (*sim.Loop, *Machin
 
 func (m *Machine) checkInvariants(t *testing.T) {
 	t.Helper()
-	sumPhys, sumLog := 0, 0
-	for g := GroupID(0); g < numGroups; g++ {
-		sumPhys += m.counts[g]
-		sumLog += m.logical[g]
-	}
-	if sumPhys != m.cfg.TotalCores || sumLog != m.cfg.TotalCores {
-		t.Fatalf("core conservation violated: phys %d logical %d total %d",
-			sumPhys, sumLog, m.cfg.TotalCores)
-	}
-	perGroup := map[GroupID]int{}
-	running := map[*VM]int{}
-	for _, c := range m.cores {
-		perGroup[c.group]++
-		if c.running != nil {
-			running[c.running.vm]++
-			if c.running.core != c {
-				t.Fatal("vCPU/core back-pointer mismatch")
-			}
-		}
-	}
-	for g := GroupID(0); g < numGroups; g++ {
-		if perGroup[g] != m.counts[g] {
-			t.Fatalf("group %v count %d != actual %d", g, m.counts[g], perGroup[g])
-		}
-	}
-	for vm, n := range running {
-		if n != vm.running {
-			t.Fatalf("VM %s running count %d != actual %d", vm.name, vm.running, n)
-		}
-		if n > vm.alloc {
-			t.Fatalf("VM %s exceeds alloc: %d > %d", vm.name, n, vm.alloc)
-		}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

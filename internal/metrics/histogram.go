@@ -171,8 +171,10 @@ func (h *Histogram) Quantile(q float64) int64 {
 		seen += c
 		if seen >= rank {
 			// Midpoint of the bucket, clamped to observed extremes so
-			// estimates never exceed the true min/max.
-			mid := (h.bucketLow(i) + h.bucketHigh(i)) / 2
+			// estimates never exceed the true min/max. low+(high-low)/2:
+			// the top buckets sit near MaxInt64, where low+high overflows.
+			low := h.bucketLow(i)
+			mid := low + (h.bucketHigh(i)-low)/2
 			if mid < h.min {
 				mid = h.min
 			}

@@ -37,6 +37,7 @@ import (
 	"io"
 
 	"smartharvest/internal/apps"
+	"smartharvest/internal/check"
 	"smartharvest/internal/core"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/hypervisor"
@@ -145,6 +146,10 @@ func WithSeed(seed uint64) ScenarioOption { return harness.WithSeed(seed) }
 
 // WithDuration overrides the measured run length.
 func WithDuration(d Time) ScenarioOption { return harness.WithDuration(d) }
+
+// WithChecker attaches an invariant Checker to the run (see NewChecker);
+// the verification Report lands in Result.Check.
+func WithChecker(c *Checker) ScenarioOption { return harness.WithChecker(c) }
 
 // Structured scenario-validation errors. Run returns a *ScenarioError
 // wrapping one of these sentinels when the Scenario is malformed; test
@@ -316,3 +321,31 @@ func EventMetrics() *obs.Metrics { return obs.NewMetrics() }
 
 // MultiObserver fans one event stream out to several observers.
 func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// Verification — the invariant checker (see internal/check). A Checker is
+// an Observer that validates a run online against the paper's safety
+// contract: core conservation at every resize, monotonic sim time, the
+// legality of both safeguards' state machines (including the exact
+// harvest-pause duration), and prediction/clamp consistency at every
+// window decision. Attach one per run with Scenario.Checker or
+// WithChecker; the harness binds it and puts the Report in Result.Check.
+
+// Checker verifies one run's event stream against the safety invariants.
+type Checker = check.Checker
+
+// CheckReport is the outcome of a checked run (Result.Check).
+type CheckReport = check.Report
+
+// CheckViolation is one invariant breach inside a CheckReport.
+type CheckViolation = check.Violation
+
+// TraceError is one well-formedness problem found by ValidateTrace.
+type TraceError = check.TraceError
+
+// NewChecker returns a fresh invariant checker for a single run.
+func NewChecker() *Checker { return check.New() }
+
+// ValidateTrace checks a JSONL trace (as written by TraceWriter) for
+// well-formedness: schema version, known events, required fields with the
+// right types, and non-decreasing timestamps.
+func ValidateTrace(r io.Reader) ([]TraceError, error) { return check.ValidateTrace(r) }
