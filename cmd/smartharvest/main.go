@@ -118,6 +118,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	guard := flag.Bool("long-term-safeguard", true, "enable the long-term QoS safeguard")
 	speedup := flag.Bool("speedup", false, "also run a NoHarvest baseline and report the batch speedup")
+	faultSpec := flag.String("faults", "", "fault-injection plan as key=value pairs, e.g. hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms (keys: hfail, hdelay, drop, stale, noise, stall, crash, hdelaymean, hdelayp99, stalldur, restartdur, losemodel)")
 	trace := flag.String("trace", "", "write a JSONL event trace of the run to this file (poll samples included)")
 	checkRun := flag.Bool("check", false, "verify the run against the safety invariants and print the report (exit 1 on violation)")
 	flag.Parse()
@@ -150,6 +151,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	plan, err := smartharvest.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fail(err)
+	}
 
 	s := smartharvest.Scenario{
 		Name:              "cli",
@@ -161,6 +166,7 @@ func main() {
 		Warmup:            sim.Duration(*warmup),
 		Seed:              *seed,
 		LongTermSafeguard: *guard,
+		Faults:            plan,
 	}
 
 	if *trace != "" {
@@ -221,6 +227,13 @@ func main() {
 		res.Windows, res.Resizes, res.Safeguards, res.QoSTrips)
 	fmt.Printf("reassignment: grow P99 %s, shrink P99 %s\n",
 		fmtNS(res.Grow.P99), fmtNS(res.Shrink.P99))
+	if plan.Enabled() {
+		fmt.Printf("faults: %d injected (%s); %d retries, %d aborted resizes, %d missed windows, %d stalls, %d crashes\n",
+			res.FaultsInjected, plan, res.ResizeRetries, res.ResizesAborted,
+			res.MissedWindows, res.Stalls, res.Crashes)
+		fmt.Printf("degradation: %d entries; degraded at end of run: %v\n",
+			res.Degradations, res.Degraded)
+	}
 	if res.Check != nil {
 		fmt.Print(res.Check)
 		if !res.Check.OK() {

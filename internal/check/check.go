@@ -76,6 +76,17 @@ const (
 	InvMachineState = "machine-state"
 	// InvUsage: the checker itself was misused (events before Bind).
 	InvUsage = "checker-usage"
+	// InvDegraded: degraded mode behaves like NoHarvest — window decisions
+	// pin the target to the allocation with ClampDegraded, no short-term
+	// safeguard trips fire, and resizes only move the split toward the
+	// allocation; enters and exits pair up.
+	InvDegraded = "degraded-legality"
+	// InvProbation: a degraded exit happens only after a clean probation
+	// period since the last agent-visible fault, with CleanFor exact.
+	InvProbation = "probation-timing"
+	// InvRetry: resize retries are bounded by MaxRetries and back off
+	// exponentially from RetryBackoff.
+	InvRetry = "retry-backoff"
 )
 
 // ContextSize is how many recent events the checker's flight recorder
@@ -111,6 +122,14 @@ type Config struct {
 	// LongTermSafeguard reports whether the run may legally emit QoS
 	// trips at all.
 	LongTermSafeguard bool
+	// MaxRetries bounds resize retry attempts. Zero skips the bound check.
+	MaxRetries int
+	// RetryBackoff is the first retry delay; attempt n must back off
+	// RetryBackoff << (n-1). Zero skips the exact-backoff check.
+	RetryBackoff sim.Time
+	// Probation is the exact clean period a degraded agent must observe
+	// before re-entering harvesting. Zero skips the probation checks.
+	Probation sim.Time
 }
 
 func (c Config) validate() error {
@@ -126,6 +145,9 @@ func (c Config) validate() error {
 	}
 	if c.HarvestPause < 0 || c.QoSViolationFrac < 0 || c.QoSViolationFrac > 1 {
 		return fmt.Errorf("check: bad HarvestPause/QoSViolationFrac")
+	}
+	if c.MaxRetries < 0 || c.RetryBackoff < 0 || c.Probation < 0 {
+		return fmt.Errorf("check: bad MaxRetries/RetryBackoff/Probation")
 	}
 	return nil
 }
@@ -224,6 +246,14 @@ func recordAt(r obs.Record) sim.Time {
 		return r.ChurnApplied.At
 	case obs.KindBatchProgress:
 		return r.BatchProgress.At
+	case obs.KindFaultInjected:
+		return r.FaultInjected.At
+	case obs.KindResizeRetry:
+		return r.ResizeRetry.At
+	case obs.KindDegradedEnter:
+		return r.DegradedEnter.At
+	case obs.KindDegradedExit:
+		return r.DegradedExit.At
 	}
 	return 0
 }
@@ -264,6 +294,16 @@ type Checker struct {
 
 	batchFinished bool
 	lastPhase     int
+
+	// Degradation-ladder state: degraded mirrors the agent's mode, and
+	// lastVisibleFault tracks the probation anchor — the latest instant an
+	// agent-visible fault ended (hypercall failures and dropped polls land
+	// at their event time; stalls and crashes at event time plus duration;
+	// delay/stale/noise faults are invisible to the agent and don't count).
+	degraded         bool
+	degradedAt       sim.Time
+	lastVisibleFault sim.Time
+	sawVisibleFault  bool
 
 	report   Report
 	finished bool
@@ -475,6 +515,20 @@ func (c *Checker) OnWindowEnd(e obs.WindowEnd) {
 		c.violate(InvClamp, e.At, rec, "clamp says paused but harvesting is not paused")
 		return
 	}
+	// Degraded mode behaves like NoHarvest: the decision must pin the
+	// target to the full allocation and say so.
+	if c.degraded {
+		if e.Clamp != obs.ClampDegraded || e.Target != c.alloc {
+			c.violatef(InvDegraded, e.At, rec,
+				"window decision while degraded: target=%d clamp=%s, want target=%d clamp=%s",
+				e.Target, e.Clamp, c.alloc, obs.ClampDegraded)
+		}
+		return
+	}
+	if e.Clamp == obs.ClampDegraded {
+		c.violate(InvDegraded, e.At, rec, "clamp says degraded but the agent is not degraded")
+		return
+	}
 	if e.Prediction < 0 || e.Prediction > c.alloc {
 		c.violatef(InvClamp, e.At, rec, "prediction %d outside [0, alloc %d]", e.Prediction, c.alloc)
 	}
@@ -502,6 +556,9 @@ func (c *Checker) OnSafeguardTrip(e obs.SafeguardTrip) {
 	}
 	if c.paused(e.At) {
 		c.violate(InvPausedHarvest, e.At, rec, "short-term safeguard trip while harvesting is paused")
+	}
+	if c.degraded {
+		c.violate(InvDegraded, e.At, rec, "short-term safeguard trip while degraded")
 	}
 	// Legality: expansion only from a harvesting state — the primaries
 	// exhausted an assignment that was below their allocation.
@@ -595,6 +652,17 @@ func (c *Checker) OnResize(e obs.Resize) {
 	if e.Latency < 0 {
 		c.violatef(InvConservation, e.At, rec, "negative resize latency %v", e.Latency)
 	}
+	// While degraded (and not paused, which imposes its own rule), a
+	// resize may only move the split toward the full allocation — the
+	// agent is giving cores back, never harvesting more.
+	if c.degraded && !c.paused(e.At) {
+		from, to := e.FromCores-c.alloc, e.ToCores-c.alloc
+		if abs(to) >= abs(from) {
+			c.violatef(InvDegraded, e.At, rec,
+				"resize %d -> %d while degraded moves away from alloc %d",
+				e.FromCores, e.ToCores, c.alloc)
+		}
+	}
 	if c.paused(e.At) && e.ToCores != c.alloc {
 		if e.ToCores < c.alloc {
 			// Possibly a churn departure (agent shrinks before the
@@ -667,6 +735,125 @@ func (c *Checker) OnBatchProgress(e obs.BatchProgress) {
 		}
 		c.batchFinished = true
 	}
+}
+
+// OnFaultInjected implements obs.Observer. Besides shape checks, it
+// advances the probation anchor for agent-visible fault kinds.
+func (c *Checker) OnFaultInjected(e obs.FaultInjected) {
+	c.ring.OnFaultInjected(e)
+	rec := obs.Record{Kind: obs.KindFaultInjected, FaultInjected: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if e.Dur < 0 {
+		c.violatef(InvDegraded, e.At, rec, "fault %s with negative duration %v", e.Kind, e.Dur)
+	}
+	switch e.Kind {
+	case obs.FaultHypercallFail, obs.FaultPollDrop:
+		c.markVisibleFault(e.At)
+	case obs.FaultAgentStall, obs.FaultAgentCrash:
+		// The agent re-stamps its fault clock when it wakes.
+		c.markVisibleFault(e.At + e.Dur)
+	}
+}
+
+func (c *Checker) markVisibleFault(at sim.Time) {
+	if !c.sawVisibleFault || at > c.lastVisibleFault {
+		c.lastVisibleFault = at
+		c.sawVisibleFault = true
+	}
+}
+
+// OnResizeRetry implements obs.Observer.
+func (c *Checker) OnResizeRetry(e obs.ResizeRetry) {
+	c.ring.OnResizeRetry(e)
+	rec := obs.Record{Kind: obs.KindResizeRetry, ResizeRetry: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if e.Attempt < 1 {
+		c.violatef(InvRetry, e.At, rec, "retry attempt %d, want >= 1", e.Attempt)
+		return
+	}
+	if c.cfg.MaxRetries > 0 && e.Attempt > c.cfg.MaxRetries {
+		c.violatef(InvRetry, e.At, rec,
+			"retry attempt %d exceeds MaxRetries %d (retrying forever?)", e.Attempt, c.cfg.MaxRetries)
+	}
+	if c.cfg.RetryBackoff > 0 {
+		if want := c.cfg.RetryBackoff << (e.Attempt - 1); e.Backoff != want {
+			c.violatef(InvRetry, e.At, rec,
+				"retry %d backs off %v, want %v (exponential from %v)",
+				e.Attempt, e.Backoff, want, c.cfg.RetryBackoff)
+		}
+	}
+	if e.Target < 1 || e.Target > c.cfg.TotalCores {
+		c.violatef(InvRetry, e.At, rec, "retry target %d outside [1, %d]", e.Target, c.cfg.TotalCores)
+	}
+}
+
+// OnDegradedEnter implements obs.Observer.
+func (c *Checker) OnDegradedEnter(e obs.DegradedEnter) {
+	c.ring.OnDegradedEnter(e)
+	rec := obs.Record{Kind: obs.KindDegradedEnter, DegradedEnter: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if c.degraded {
+		c.violate(InvDegraded, e.At, rec, "degraded-enter while already degraded")
+	}
+	if e.Reason != obs.DegradeResizeFailures && e.Reason != obs.DegradeMissedPolls {
+		c.violatef(InvDegraded, e.At, rec, "unknown degrade reason %d", int(e.Reason))
+	}
+	if e.Failures < 0 || e.MissedPolls < 0 {
+		c.violatef(InvDegraded, e.At, rec,
+			"negative counters: failures=%d missed=%d", e.Failures, e.MissedPolls)
+	}
+	c.degraded = true
+	c.degradedAt = e.At
+}
+
+// OnDegradedExit implements obs.Observer.
+func (c *Checker) OnDegradedExit(e obs.DegradedExit) {
+	c.ring.OnDegradedExit(e)
+	rec := obs.Record{Kind: obs.KindDegradedExit, DegradedExit: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if !c.degraded {
+		c.violate(InvDegraded, e.At, rec, "degraded-exit without a matching enter")
+		c.degraded = false
+		return
+	}
+	if e.Dur != e.At-c.degradedAt {
+		c.violatef(InvDegraded, e.At, rec,
+			"exit reports degraded for %v, entered at %v so want %v",
+			e.Dur, c.degradedAt, e.At-c.degradedAt)
+	}
+	if c.cfg.Probation > 0 {
+		if e.CleanFor < c.cfg.Probation {
+			c.violatef(InvProbation, e.At, rec,
+				"exit after only %v clean, probation is %v", e.CleanFor, c.cfg.Probation)
+		}
+		if c.sawVisibleFault {
+			if want := e.At - c.lastVisibleFault; e.CleanFor != want {
+				c.violatef(InvProbation, e.At, rec,
+					"exit reports %v clean, last visible fault at %v so want %v",
+					e.CleanFor, c.lastVisibleFault, want)
+			}
+		}
+	}
+	c.degraded = false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 var _ obs.Observer = (*Checker)(nil)

@@ -47,6 +47,18 @@ func (r *recorder) OnChurnApplied(e obs.ChurnApplied) {
 func (r *recorder) OnBatchProgress(e obs.BatchProgress) {
 	r.recs = append(r.recs, obs.Record{Kind: obs.KindBatchProgress, BatchProgress: e})
 }
+func (r *recorder) OnFaultInjected(e obs.FaultInjected) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindFaultInjected, FaultInjected: e})
+}
+func (r *recorder) OnResizeRetry(e obs.ResizeRetry) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindResizeRetry, ResizeRetry: e})
+}
+func (r *recorder) OnDegradedEnter(e obs.DegradedEnter) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindDegradedEnter, DegradedEnter: e})
+}
+func (r *recorder) OnDegradedExit(e obs.DegradedExit) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindDegradedExit, DegradedExit: e})
+}
 
 // replay feeds captured records into a checker as if the run were live.
 func replay(c *check.Checker, recs []obs.Record) *check.Report {
@@ -68,6 +80,14 @@ func replay(c *check.Checker, recs []obs.Record) *check.Report {
 			c.OnChurnApplied(r.ChurnApplied)
 		case obs.KindBatchProgress:
 			c.OnBatchProgress(r.BatchProgress)
+		case obs.KindFaultInjected:
+			c.OnFaultInjected(r.FaultInjected)
+		case obs.KindResizeRetry:
+			c.OnResizeRetry(r.ResizeRetry)
+		case obs.KindDegradedEnter:
+			c.OnDegradedEnter(r.DegradedEnter)
+		case obs.KindDegradedExit:
+			c.OnDegradedExit(r.DegradedExit)
 		}
 	}
 	return c.Finish()
@@ -273,4 +293,138 @@ func TestMutantHarvestWhilePaused(t *testing.T) {
 	// Mid-pause, a buggy agent resumes harvesting.
 	c.OnResize(obs.Resize{At: 2 * sim.Second, FromCores: 10, ToCores: 5})
 	wantViolation(t, c.Finish(), check.InvPausedHarvest)
+}
+
+// degradedWindow builds a shape-consistent window decision for the
+// degradation-ladder mutants.
+func degradedWindow(at sim.Time, seq uint64, target int, clamp obs.ClampReason) obs.WindowEnd {
+	return obs.WindowEnd{
+		At: at, Seq: seq, Samples: 500,
+		Features: obs.Features{Min: 2, Max: 2, Avg: 2, Std: 0, Median: 2},
+		Peak1s:   2, Busy: 2,
+		Prediction: target, Target: target, Clamp: clamp,
+	}
+}
+
+// resilienceConfig extends the captured config with the default
+// resilience policy, as harness.Run binds it.
+func resilienceConfig(t *testing.T) check.Config {
+	t.Helper()
+	_, cfg := captureStream(t)
+	pol := core.DefaultResilience()
+	cfg.MaxRetries = pol.MaxRetries
+	cfg.RetryBackoff = pol.RetryBackoff
+	cfg.Probation = pol.Probation
+	return cfg
+}
+
+// TestMutantHarvestsWhileDegraded: after falling back to NoHarvest, a
+// buggy agent keeps making harvesting decisions — exactly what degraded
+// mode exists to prevent.
+func TestMutantHarvestsWhileDegraded(t *testing.T) {
+	cfg := resilienceConfig(t)
+	c := bound(t, cfg)
+	c.OnDegradedEnter(obs.DegradedEnter{
+		At: sim.Second, Reason: obs.DegradeResizeFailures, Failures: 3,
+	})
+	// Target 4 < alloc 10: the degraded agent is still harvesting.
+	c.OnWindowEnd(degradedWindow(sim.Second+25*sim.Millisecond, 1, 4, obs.ClampBusyFloor))
+	wantViolation(t, c.Finish(), check.InvDegraded)
+}
+
+// TestMutantSafeguardWhileDegraded: the short-term safeguard must not
+// fire while degraded (the target is pinned to the allocation).
+func TestMutantSafeguardWhileDegraded(t *testing.T) {
+	cfg := resilienceConfig(t)
+	c := bound(t, cfg)
+	c.OnDegradedEnter(obs.DegradedEnter{
+		At: sim.Second, Reason: obs.DegradeMissedPolls, MissedPolls: 50,
+	})
+	c.OnSafeguardTrip(obs.SafeguardTrip{At: sim.Second + sim.Millisecond, Busy: 5, Target: 5})
+	wantViolation(t, c.Finish(), check.InvDegraded)
+}
+
+// TestMutantRetriesForever: a buggy retry loop that never gives up —
+// attempts past MaxRetries must be flagged.
+func TestMutantRetriesForever(t *testing.T) {
+	cfg := resilienceConfig(t)
+	c := bound(t, cfg)
+	for attempt := 1; attempt <= cfg.MaxRetries+2; attempt++ {
+		c.OnResizeRetry(obs.ResizeRetry{
+			At:      sim.Second + sim.Time(attempt)*sim.Millisecond,
+			Target:  4,
+			Attempt: attempt,
+			Backoff: cfg.RetryBackoff << (attempt - 1),
+		})
+	}
+	wantViolation(t, c.Finish(), check.InvRetry)
+}
+
+// TestMutantRetryWithoutBackoff: retries at a constant delay instead of
+// exponential backoff hammer a failing hypervisor.
+func TestMutantRetryWithoutBackoff(t *testing.T) {
+	cfg := resilienceConfig(t)
+	c := bound(t, cfg)
+	c.OnResizeRetry(obs.ResizeRetry{
+		At: sim.Second, Target: 4, Attempt: 2,
+		Backoff: cfg.RetryBackoff, // should be RetryBackoff << 1
+	})
+	wantViolation(t, c.Finish(), check.InvRetry)
+}
+
+// TestMutantProbationCutShort: the degraded agent re-enters harvesting
+// before the clean probation period has elapsed.
+func TestMutantProbationCutShort(t *testing.T) {
+	cfg := resilienceConfig(t)
+	c := bound(t, cfg)
+	c.OnFaultInjected(obs.FaultInjected{At: sim.Second, Kind: obs.FaultPollDrop})
+	c.OnDegradedEnter(obs.DegradedEnter{
+		At: sim.Second, Reason: obs.DegradeMissedPolls, MissedPolls: 50,
+	})
+	early := sim.Second + cfg.Probation/2
+	c.OnDegradedExit(obs.DegradedExit{
+		At: early, CleanFor: early - sim.Second, Dur: early - sim.Second,
+	})
+	wantViolation(t, c.Finish(), check.InvProbation)
+}
+
+// TestMutantProbationMisanchored: the exit waits long enough but lies
+// about the clean period (its anchor ignores a fault seen mid-pause).
+func TestMutantProbationMisanchored(t *testing.T) {
+	cfg := resilienceConfig(t)
+	c := bound(t, cfg)
+	c.OnFaultInjected(obs.FaultInjected{At: sim.Second, Kind: obs.FaultPollDrop})
+	c.OnDegradedEnter(obs.DegradedEnter{
+		At: sim.Second, Reason: obs.DegradeMissedPolls, MissedPolls: 50,
+	})
+	// A second visible fault mid-degradation moves the anchor forward.
+	c.OnFaultInjected(obs.FaultInjected{At: sim.Second + 500*sim.Millisecond, Kind: obs.FaultHypercallFail})
+	exit := sim.Second + cfg.Probation + 600*sim.Millisecond
+	c.OnDegradedExit(obs.DegradedExit{
+		At: exit, CleanFor: exit - sim.Second, Dur: exit - sim.Second,
+	})
+	wantViolation(t, c.Finish(), check.InvProbation)
+}
+
+// TestDegradedLadderCleanStream: the legal ladder — enter, pinned
+// windows, exact probation exit, harvesting resumes — passes every
+// invariant, proving the degraded checks are not vacuously strict.
+func TestDegradedLadderCleanStream(t *testing.T) {
+	cfg := resilienceConfig(t)
+	c := bound(t, cfg)
+	c.OnFaultInjected(obs.FaultInjected{At: sim.Second, Kind: obs.FaultPollDrop})
+	c.OnDegradedEnter(obs.DegradedEnter{
+		At: sim.Second, Reason: obs.DegradeMissedPolls, MissedPolls: 50,
+	})
+	c.OnWindowEnd(degradedWindow(sim.Second, 1, 10, obs.ClampDegraded))
+	c.OnWindowEnd(degradedWindow(sim.Second+25*sim.Millisecond, 2, 10, obs.ClampDegraded))
+	exit := sim.Second + cfg.Probation
+	c.OnDegradedExit(obs.DegradedExit{
+		At: exit, CleanFor: cfg.Probation, Dur: cfg.Probation,
+	})
+	c.OnWindowEnd(degradedWindow(exit, 3, 3, obs.ClampNone))
+	rep := c.Finish()
+	if !rep.OK() {
+		t.Fatalf("clean degraded ladder flagged: %v", rep.First())
+	}
 }

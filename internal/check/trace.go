@@ -48,6 +48,10 @@ var traceSchema = map[string]map[string]fieldKind{
 	obs.KindResize.String():        {"from": fNum, "to": fNum, "mech": fStr, "latency": fNum},
 	obs.KindChurnApplied.String():  {"arrived": fStr, "departed": fNum, "live": fNum, "alloc": fNum},
 	obs.KindBatchProgress.String(): {"job": fStr, "phase": fNum, "phases": fNum, "finished": fBool},
+	obs.KindFaultInjected.String(): {"kind": fStr, "dur": fNum, "delta": fNum},
+	obs.KindResizeRetry.String():   {"target": fNum, "attempt": fNum, "backoff": fNum},
+	obs.KindDegradedEnter.String(): {"reason": fStr, "failures": fNum, "missed_polls": fNum},
+	obs.KindDegradedExit.String():  {"clean_for": fNum, "dur": fNum},
 }
 
 // validClamp is the closed set of clamp-reason strings a window decision
@@ -57,6 +61,7 @@ var validClamp = map[string]bool{
 	obs.ClampPaused.String():    true,
 	obs.ClampBusyFloor.String(): true,
 	obs.ClampAllocCap.String():  true,
+	obs.ClampDegraded.String():  true,
 }
 
 // maxTraceErrors caps the errors ValidateTrace returns; a corrupt trace

@@ -300,8 +300,16 @@ type machineAdapter struct {
 	m *hypervisor.Machine
 }
 
-func (a machineAdapter) TotalCores() int            { return a.m.TotalCores() }
-func (a machineAdapter) BusyPrimaryCores() int      { return a.m.BusyCores(hypervisor.PrimaryGroup) }
-func (a machineAdapter) SetPrimaryCores(n int) bool { return a.m.SetPrimaryCores(n) }
-func (a machineAdapter) ResizeLatency() sim.Time    { return a.m.ResizeLatency() }
+func (a machineAdapter) TotalCores() int       { return a.m.TotalCores() }
+func (a machineAdapter) BusyPrimaryCores() int { return a.m.BusyCores(hypervisor.PrimaryGroup) }
+func (a machineAdapter) SetPrimaryCores(n int) (core.ResizeResult, error) {
+	out, err := a.m.SetPrimaryCores(n)
+	if err != nil {
+		return core.ResizeResult{}, err
+	}
+	return core.ResizeResult{
+		Applied: out.Status == hypervisor.ResizeApplied,
+		Latency: out.Latency,
+	}, nil
+}
 func (a machineAdapter) DrainPrimaryWaits() []int64 { return a.m.DrainPrimaryWaits() }

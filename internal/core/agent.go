@@ -24,6 +24,17 @@ import (
 	"smartharvest/internal/sim"
 )
 
+// ResizeResult reports what a SetPrimaryCores request did when it did
+// not error.
+type ResizeResult struct {
+	// Applied is true when the request initiated core moves; false for a
+	// no-op (the group already had the requested size).
+	Applied bool
+	// Latency is the hypercall issue time the agent is blocked for
+	// (zero for no-ops).
+	Latency sim.Time
+}
+
 // Hypervisor is the narrow, black-box interface the agent needs — the
 // same contract the paper's agent gets from Hyper-V's Host Compute
 // Service. internal/harness adapts the simulated machine to it; a real
@@ -32,17 +43,53 @@ type Hypervisor interface {
 	// TotalCores is the size of the harvesting pool.
 	TotalCores() int
 	// BusyPrimaryCores returns how many primary-group cores currently
-	// run an active software thread.
+	// run an active software thread, or -1 if the reading was lost (a
+	// dropped monitoring sample; the agent skips it and counts it toward
+	// the degradation ladder).
 	BusyPrimaryCores() int
 	// SetPrimaryCores requests a new primary-group size; the remainder
-	// goes to the ElasticVM. Returns true if a change was initiated.
-	SetPrimaryCores(n int) bool
-	// ResizeLatency is how long the agent is busy issuing the hypercalls
-	// for one resize.
-	ResizeLatency() sim.Time
+	// goes to the ElasticVM. A transient failure returns a non-nil error
+	// and leaves the split unchanged; the agent retries with backoff.
+	SetPrimaryCores(n int) (ResizeResult, error)
 	// DrainPrimaryWaits returns primary vCPU dispatch-wait samples (ns)
 	// recorded since the last call.
 	DrainPrimaryWaits() []int64
+}
+
+// AgentFault is one injected agent-level fault, consulted at each
+// learning-window boundary: the agent may stall (missing whole windows)
+// and/or crash, losing its in-memory window state and rebuilding the
+// model from a checkpoint (or from scratch when LoseModel is set).
+type AgentFault struct {
+	// Stall is how long the agent is unresponsive before the window
+	// starts.
+	Stall sim.Time
+	// Crash indicates the agent process died and restarted.
+	Crash bool
+	// Restart is the restart time added after a crash.
+	Restart sim.Time
+	// LoseModel discards the learner state on a crash instead of
+	// restoring it from a checkpoint.
+	LoseModel bool
+}
+
+// AgentFaults lets a fault injector stall or crash the agent. The zero
+// AgentFault means no fault this window. See internal/faults.
+type AgentFaults interface {
+	WindowFault() AgentFault
+}
+
+// Checkpointer is implemented by controllers whose learner state can be
+// serialized and restored — the foundation of crash-restart recovery.
+// SmartHarvest implements it over the CSOAA model's Save/Load round-trip.
+type Checkpointer interface {
+	// Checkpoint serializes the controller's learner state.
+	Checkpoint() ([]byte, error)
+	// Restore replaces the learner state with a previous checkpoint.
+	Restore(data []byte) error
+	// Reset discards the learner state entirely (back to the
+	// conservative prior).
+	Reset()
 }
 
 // Window is what a Controller sees at a learning-window boundary.
@@ -120,6 +167,68 @@ type Config struct {
 	// decisions, safeguard and QoS trips). Nil disables observation; the
 	// hot path then performs no interface calls and no allocations.
 	Observer obs.Observer
+
+	// Resilience governs how the agent survives hypervisor and signal
+	// faults. The zero value selects DefaultResilience.
+	Resilience ResiliencePolicy
+
+	// Faults, when non-nil, is consulted at every window boundary and may
+	// stall or crash the agent. Nil (the default) keeps the agent perfect.
+	Faults AgentFaults
+}
+
+// ResiliencePolicy bounds the agent's fault responses: how hard it
+// retries failed resizes, when it gives up on harvesting entirely
+// (degraded mode, NoHarvest behaviour), and how long a clean probation
+// must last before harvesting resumes — mirroring the long-term
+// safeguard's disable/re-arm shape.
+type ResiliencePolicy struct {
+	// MaxRetries is how many times a failed resize is re-issued before
+	// the operation is abandoned (0 disables retries).
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt (exponential backoff).
+	RetryBackoff sim.Time
+	// DegradeAfterFailures: this many consecutive abandoned resize
+	// operations enter degraded mode.
+	DegradeAfterFailures int
+	// DegradeAfterMissedPolls: this many lost busy-core polls within one
+	// learning window enter degraded mode.
+	DegradeAfterMissedPolls int
+	// Probation is how long the run must stay free of agent-visible
+	// faults before a degraded agent re-enters harvesting (checked at
+	// window boundaries).
+	Probation sim.Time
+}
+
+// DefaultResilience returns the tuned resilience parameters: 3 retries
+// starting at 1 ms backoff, degradation after 3 abandoned resizes or 50
+// lost polls in a window, and a 1 s clean probation.
+func DefaultResilience() ResiliencePolicy {
+	return ResiliencePolicy{
+		MaxRetries:              3,
+		RetryBackoff:            sim.Millisecond,
+		DegradeAfterFailures:    3,
+		DegradeAfterMissedPolls: 50,
+		Probation:               sim.Second,
+	}
+}
+
+func (p *ResiliencePolicy) validate() error {
+	if p.MaxRetries < 0 || p.RetryBackoff < 0 {
+		return fmt.Errorf("core: bad retry policy (retries=%d backoff=%v)",
+			p.MaxRetries, p.RetryBackoff)
+	}
+	if p.MaxRetries > 0 && p.RetryBackoff <= 0 {
+		return fmt.Errorf("core: retries require a positive backoff")
+	}
+	if p.DegradeAfterFailures < 1 || p.DegradeAfterMissedPolls < 1 {
+		return fmt.Errorf("core: degradation thresholds must be >= 1")
+	}
+	if p.Probation <= 0 {
+		return fmt.Errorf("core: Probation must be positive")
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's tuned parameters for a machine with
@@ -138,6 +247,7 @@ func DefaultConfig(primaryAlloc, elasticMin int) Config {
 		QoSViolationFrac:  0.01,
 		QoSConsecutive:    1,
 		HarvestPause:      10 * sim.Second,
+		Resilience:        DefaultResilience(),
 	}
 }
 
@@ -161,6 +271,13 @@ func (c *Config) validate() error {
 		c.HarvestPause <= 0 {
 		return fmt.Errorf("core: bad long-term safeguard parameters")
 	}
+	// A fully zero policy means "unset" and is replaced with the default
+	// by NewAgent; anything partially set must be coherent.
+	if c.Resilience != (ResiliencePolicy{}) {
+		if err := c.Resilience.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -168,6 +285,24 @@ func (c *Config) validate() error {
 type windowPeak struct {
 	at   sim.Time
 	peak int
+}
+
+// resume selects what the agent was doing when a resize operation (or a
+// stall) suspended it, so the right loop continues afterwards.
+type resumeKind uint8
+
+const (
+	resumePoll   resumeKind = iota // continue polling the current window
+	resumeWindow                   // start the next window
+)
+
+// resizeOp is the in-flight resize operation: one target pursued through
+// up to 1+MaxRetries hypercall attempts with exponential backoff.
+type resizeOp struct {
+	target  int
+	attempt int // failed attempts so far (retry number)
+	resume  resumeKind
+	active  bool
 }
 
 // Agent is the EVMAgent: it owns the polling loop, the safeguards, and
@@ -189,14 +324,35 @@ type Agent struct {
 	resumePending bool  // a QoSResume event is owed once the pause expires
 	sortScratch   []int // reused for the observer's median computation
 
+	// Resilience state.
+	op             resizeOp
+	opDoneFn       func() // cached method values: the fault-free resize
+	opRetryFn      func() // continuations must not allocate per resize
+	wakeFn         func()
+	lastBusy       int      // last delivered busy reading (for dropped polls)
+	splitDirty     bool     // a fire-and-forget resize (QoS/churn) failed
+	degraded       bool     // harvesting abandoned; NoHarvest behaviour
+	degradedSince  sim.Time // when degraded mode was entered
+	lastFault      sim.Time // last agent-visible fault (probation anchor)
+	consecFailures int      // consecutive abandoned resize operations
+	windowMissed   int      // polls lost in the current window
+
 	// Stats.
-	windows       uint64
-	safeguards    uint64
-	qosTrips      uint64
-	resizeCount   uint64
-	targetSeries  metrics.Series
-	peakSeries    metrics.Series
-	qosViolations metrics.Series
+	windows        uint64
+	safeguards     uint64
+	qosTrips       uint64
+	resizeCount    uint64
+	resizeRetries  uint64 // re-issued hypercalls
+	resizeFailures uint64 // failed hypercall attempts
+	resizesAborted uint64 // operations abandoned after MaxRetries
+	missedPolls    uint64 // dropped busy readings
+	missedWindows  uint64 // whole windows lost to stalls/crashes
+	stalls         uint64
+	crashes        uint64
+	degradations   uint64
+	targetSeries   metrics.Series
+	peakSeries     metrics.Series
+	qosViolations  metrics.Series
 }
 
 // NewAgent wires an agent. The controller must already be configured for
@@ -209,12 +365,20 @@ func NewAgent(loop *sim.Loop, hv Hypervisor, ctrl Controller, cfg Config) (*Agen
 		return nil, fmt.Errorf("core: alloc %d + elastic min %d exceeds %d cores",
 			cfg.PrimaryAlloc, cfg.ElasticMin, hv.TotalCores())
 	}
-	return &Agent{
+	if cfg.Resilience == (ResiliencePolicy{}) {
+		cfg.Resilience = DefaultResilience()
+	}
+	a := &Agent{
 		loop: loop, hv: hv, cfg: cfg, ctrl: ctrl,
 		target:       cfg.PrimaryAlloc,
+		lastFault:    -1,
 		targetSeries: metrics.Series{Name: "primary-target"},
 		peakSeries:   metrics.Series{Name: "window-peak"},
-	}, nil
+	}
+	a.opDoneFn = a.opDone
+	a.opRetryFn = a.opRetry
+	a.wakeFn = a.wake
+	return a, nil
 }
 
 // Controller returns the agent's policy.
@@ -234,6 +398,36 @@ func (a *Agent) QoSTrips() uint64 { return a.qosTrips }
 
 // ResizeCount returns how many resizes the agent issued.
 func (a *Agent) ResizeCount() uint64 { return a.resizeCount }
+
+// ResizeRetries returns how many failed resizes were re-issued.
+func (a *Agent) ResizeRetries() uint64 { return a.resizeRetries }
+
+// ResizeFailures returns how many individual hypercall attempts failed.
+func (a *Agent) ResizeFailures() uint64 { return a.resizeFailures }
+
+// ResizesAborted returns how many resize operations were abandoned after
+// exhausting their retries.
+func (a *Agent) ResizesAborted() uint64 { return a.resizesAborted }
+
+// MissedPolls returns how many busy-core readings were lost.
+func (a *Agent) MissedPolls() uint64 { return a.missedPolls }
+
+// MissedWindows returns how many whole learning windows were lost to
+// stalls and crash restarts.
+func (a *Agent) MissedWindows() uint64 { return a.missedWindows }
+
+// Crashes returns how many crash-restart faults the agent absorbed.
+func (a *Agent) Crashes() uint64 { return a.crashes }
+
+// Stalls returns how many stall faults the agent absorbed.
+func (a *Agent) Stalls() uint64 { return a.stalls }
+
+// Degradations returns how often the agent fell back to NoHarvest.
+func (a *Agent) Degradations() uint64 { return a.degradations }
+
+// Degraded reports whether the agent is currently in degraded
+// (NoHarvest) mode.
+func (a *Agent) Degraded() bool { return a.degraded }
 
 // TargetSeries returns the recorded per-window primary-core assignment
 // (empty unless Config.RecordSeries).
@@ -278,11 +472,25 @@ func (a *Agent) SetPrimaryAlloc(n int) error {
 	// allocation; growth happens through normal window decisions.
 	if a.target > n {
 		a.target = n
-		if a.hv.SetPrimaryCores(n) {
-			a.resizeCount++
-		}
+		a.fireAndForgetResize(n)
 	}
 	return nil
+}
+
+// fireAndForgetResize issues one urgent resize (QoS trip, churn shrink)
+// outside the window state machine. A failure marks the split dirty so
+// the next window decision re-issues it even if the target matches.
+func (a *Agent) fireAndForgetResize(n int) {
+	res, err := a.hv.SetPrimaryCores(n)
+	if err != nil {
+		a.lastFault = a.loop.Now()
+		a.resizeFailures++
+		a.splitDirty = true
+		return
+	}
+	if res.Applied {
+		a.resizeCount++
+	}
 }
 
 // PrimaryAlloc returns the agent's current notion of the primary
@@ -304,11 +512,71 @@ func (a *Agent) Start() {
 	a.loop.NewTicker(a.cfg.QoSWindow, a.cfg.QoSWindow, a.qosCheck)
 }
 
-// beginWindow resets window state and schedules the first poll.
+// beginWindow consults the fault injector (if any), then resets window
+// state and schedules the first poll. A stall or crash fault suspends
+// the agent first; whole windows lost to it are counted and the window
+// boundary re-syncs to the wake time.
 func (a *Agent) beginWindow() {
+	if f := a.cfg.Faults; f != nil {
+		if fault := f.WindowFault(); fault.Crash || fault.Stall > 0 || fault.Restart > 0 {
+			a.agentFault(fault)
+			return
+		}
+	}
+	a.startWindow()
+}
+
+// startWindow resets window state and schedules the first poll.
+func (a *Agent) startWindow() {
 	a.samples = a.samples[:0]
+	a.windowMissed = 0
 	a.windowEnd = a.loop.Now() + a.cfg.Window
 	a.schedulePoll()
+}
+
+// agentFault absorbs a stall or crash-restart fault.
+func (a *Agent) agentFault(f AgentFault) {
+	if f.Crash {
+		a.crashes++
+		a.restartState(f.LoseModel)
+	} else {
+		a.stalls++
+	}
+	delay := f.Stall + f.Restart
+	if delay > 0 {
+		a.missedWindows += uint64(delay / a.cfg.Window)
+		a.loop.After(delay, a.wakeFn)
+		return
+	}
+	a.wake()
+}
+
+// wake resumes after a stall/crash: the fault was agent-visible (the
+// probation clock restarts) and the window grid re-syncs to now.
+func (a *Agent) wake() {
+	a.lastFault = a.loop.Now()
+	a.startWindow()
+}
+
+// restartState models a crash-restart: the in-memory window state is
+// gone; the learner either survives through a checkpoint round-trip
+// (reusing the model's serialize path) or is reset to the conservative
+// prior. The in-force core split lives in the hypervisor and survives.
+func (a *Agent) restartState(loseModel bool) {
+	a.peaks = a.peaks[:0]
+	a.qosStrikes = 0
+	cp, ok := a.ctrl.(Checkpointer)
+	if !ok {
+		return
+	}
+	if !loseModel {
+		if data, err := cp.Checkpoint(); err == nil {
+			if cp.Restore(data) == nil {
+				return
+			}
+		}
+	}
+	cp.Reset()
 }
 
 func (a *Agent) schedulePoll() {
@@ -318,6 +586,17 @@ func (a *Agent) schedulePoll() {
 // poll is one iteration of Algorithm 1's inner loop.
 func (a *Agent) poll() {
 	busy := a.hv.BusyPrimaryCores()
+	if busy < 0 {
+		a.droppedPoll()
+		return
+	}
+	if busy > a.cfg.PrimaryAlloc {
+		// A noisy or stale reading (or one taken before an allocation
+		// shrink) can exceed the allocation; the learner's feature range
+		// is [0, alloc], so clamp rather than trust it.
+		busy = a.cfg.PrimaryAlloc
+	}
+	a.lastBusy = busy
 	a.samples = append(a.samples, busy)
 	if o := a.cfg.Observer; o != nil {
 		o.OnPollSample(obs.PollSample{At: a.loop.Now(), Busy: busy, Target: a.target})
@@ -325,7 +604,9 @@ func (a *Agent) poll() {
 
 	// Short-term safeguard: the primaries are using everything we left
 	// them; cut the window short and expand (Algorithm 1 lines 7-9).
-	if a.ctrl.Safeguards() && busy >= a.target && a.target < a.cfg.PrimaryAlloc {
+	// Suppressed while degraded: the target is being driven to the full
+	// allocation anyway and the signal is not trustworthy.
+	if !a.degraded && a.ctrl.Safeguards() && busy >= a.target && a.target < a.cfg.PrimaryAlloc {
 		a.endWindow(true, busy)
 		return
 	}
@@ -333,13 +614,9 @@ func (a *Agent) poll() {
 	// Reactive policies (FixedBuffer) adjust between windows.
 	if t, ok := a.ctrl.OnPoll(busy, a.target); ok {
 		t, _ = a.clampTarget(t, busy)
-		if delay := a.applyTarget(t); delay > 0 {
+		if a.startResize(t, resumePoll) {
 			// The single-threaded agent is busy resizing/sleeping;
-			// resume polling (and postpone the window edge) after.
-			if a.loop.Now()+delay > a.windowEnd {
-				a.windowEnd = a.loop.Now() + delay
-			}
-			a.loop.After(delay, a.schedulePoll)
+			// polling resumes (and the window edge is postponed) after.
 			return
 		}
 	}
@@ -351,14 +628,73 @@ func (a *Agent) poll() {
 	a.schedulePoll()
 }
 
+// droppedPoll handles a lost busy reading: no sample, no safeguard, no
+// reactive adjustment — but the loss counts toward the degradation
+// ladder, and the window edge is still honored (using the last delivered
+// reading as the decision-instant busy value).
+func (a *Agent) droppedPoll() {
+	now := a.loop.Now()
+	a.missedPolls++
+	a.windowMissed++
+	a.lastFault = now
+	if !a.degraded && a.windowMissed >= a.cfg.Resilience.DegradeAfterMissedPolls {
+		a.enterDegraded(obs.DegradeMissedPolls)
+		// Cut the window short so the degraded decision (full
+		// allocation) is applied immediately rather than at the edge.
+		a.endWindow(false, a.lastBusy)
+		return
+	}
+	if now >= a.windowEnd {
+		a.endWindow(false, a.lastBusy)
+		return
+	}
+	a.schedulePoll()
+}
+
+// enterDegraded abandons harvesting: window decisions pin the target to
+// the full primary allocation (ClampDegraded) until a clean probation
+// period has passed.
+func (a *Agent) enterDegraded(reason obs.DegradeReason) {
+	a.degraded = true
+	a.degradedSince = a.loop.Now()
+	a.degradations++
+	if o := a.cfg.Observer; o != nil {
+		o.OnDegradedEnter(obs.DegradedEnter{
+			At:          a.loop.Now(),
+			Reason:      reason,
+			Failures:    a.consecFailures,
+			MissedPolls: a.windowMissed,
+		})
+	}
+}
+
 // endWindow runs the Controller, applies the new target, and schedules
-// the next window.
+// the next window. Degraded mode exits here — at a window boundary,
+// after a clean probation — so the very decision that ends probation can
+// resume harvesting.
 func (a *Agent) endWindow(safeguard bool, busy int) {
 	a.windows++
 	if safeguard {
 		a.safeguards++
 	}
 	now := a.loop.Now()
+	if a.degraded && a.lastFault >= 0 && now-a.lastFault >= a.cfg.Resilience.Probation {
+		a.degraded = false
+		a.consecFailures = 0
+		if o := a.cfg.Observer; o != nil {
+			o.OnDegradedExit(obs.DegradedExit{
+				At:       now,
+				CleanFor: now - a.lastFault,
+				Dur:      now - a.degradedSince,
+			})
+		}
+	}
+	if len(a.samples) == 0 {
+		// Every reading this window was dropped; fall back to the last
+		// delivered one so the controller contract (Samples never empty)
+		// holds under signal faults too.
+		a.samples = append(a.samples, busy)
+	}
 	peak := 0
 	for _, s := range a.samples {
 		if s > peak {
@@ -401,10 +737,7 @@ func (a *Agent) endWindow(safeguard bool, busy int) {
 		a.peakSeries.Add(int64(now), float64(peak))
 	}
 
-	delay := a.applyTarget(target)
-	if delay > 0 {
-		a.loop.After(delay, a.beginWindow)
-	} else {
+	if !a.startResize(target, resumeWindow) {
 		a.beginWindow()
 	}
 }
@@ -416,6 +749,11 @@ func (a *Agent) endWindow(safeguard bool, busy int) {
 func (a *Agent) clampTarget(target, busy int) (int, obs.ClampReason) {
 	if a.HarvestingPaused() {
 		return a.cfg.PrimaryAlloc, obs.ClampPaused
+	}
+	if a.degraded {
+		// Degraded mode behaves like NoHarvest: the primaries keep their
+		// full allocation until probation clears.
+		return a.cfg.PrimaryAlloc, obs.ClampDegraded
 	}
 	reason := obs.ClampNone
 	if m := busy + 1; target < m {
@@ -463,19 +801,106 @@ func (a *Agent) windowFeatures(peak int) obs.Features {
 	return f
 }
 
-// applyTarget issues the resize if needed and returns how long the agent
-// is occupied by it (hypercalls plus the post-resize sleep).
-func (a *Agent) applyTarget(target int) sim.Time {
-	if target == a.target {
-		return 0
+// startResize begins a resize operation toward target, reporting true if
+// the single-threaded agent is now occupied by it (the caller must not
+// schedule anything; resumeAfterOp continues the selected loop). False
+// means the operation completed synchronously (no-op or zero-latency).
+func (a *Agent) startResize(target int, resume resumeKind) bool {
+	if target == a.target && !a.splitDirty {
+		return false
 	}
-	a.target = target
-	changed := a.hv.SetPrimaryCores(target)
-	if !changed {
-		return 0
+	a.op = resizeOp{target: target, attempt: 0, resume: resume, active: true}
+	if a.attemptResize() {
+		return true
 	}
-	a.resizeCount++
-	return a.hv.ResizeLatency() + a.cfg.PostResizeSleep
+	a.op.active = false
+	return false
+}
+
+// attemptResize issues one hypercall for the in-flight operation and
+// returns true if a continuation was scheduled (the agent is busy).
+func (a *Agent) attemptResize() bool {
+	res, err := a.hv.SetPrimaryCores(a.op.target)
+	if err == nil {
+		a.target = a.op.target
+		a.splitDirty = false
+		a.consecFailures = 0
+		if !res.Applied {
+			return false
+		}
+		a.resizeCount++
+		if d := res.Latency + a.cfg.PostResizeSleep; d > 0 {
+			a.loop.After(d, a.opDoneFn)
+			return true
+		}
+		return false
+	}
+
+	// Transient hypercall failure: the split did not change.
+	now := a.loop.Now()
+	a.lastFault = now
+	a.resizeFailures++
+	p := &a.cfg.Resilience
+	if a.op.attempt < p.MaxRetries {
+		a.op.attempt++
+		backoff := p.RetryBackoff << (a.op.attempt - 1)
+		a.resizeRetries++
+		if o := a.cfg.Observer; o != nil {
+			o.OnResizeRetry(obs.ResizeRetry{
+				At:      now,
+				Target:  a.op.target,
+				Attempt: a.op.attempt,
+				Backoff: backoff,
+			})
+		}
+		a.loop.After(res.Latency+backoff, a.opRetryFn)
+		return true
+	}
+
+	// Retries exhausted: abandon the operation. The in-force split is
+	// unchanged, so it stays legal; the next window decision tries again.
+	a.resizesAborted++
+	a.splitDirty = true
+	a.consecFailures++
+	if !a.degraded && a.consecFailures >= p.DegradeAfterFailures {
+		a.enterDegraded(obs.DegradeResizeFailures)
+	}
+	if res.Latency > 0 {
+		a.loop.After(res.Latency, a.opDoneFn)
+		return true
+	}
+	return false
+}
+
+// opDone completes the in-flight resize operation and resumes the loop
+// it interrupted.
+func (a *Agent) opDone() {
+	resume := a.op.resume
+	a.op.active = false
+	a.resumeAfterOp(resume)
+}
+
+// opRetry re-issues the in-flight operation after its backoff.
+func (a *Agent) opRetry() {
+	if a.attemptResize() {
+		return
+	}
+	a.opDone()
+}
+
+// resumeAfterOp continues whichever loop the resize suspended.
+func (a *Agent) resumeAfterOp(resume resumeKind) {
+	switch resume {
+	case resumeWindow:
+		a.beginWindow()
+	default: // resumePoll
+		// The window edge is postponed past the time spent resizing, as
+		// in the original reactive path.
+		if now := a.loop.Now(); now > a.windowEnd {
+			a.windowEnd = now
+		}
+		a.schedulePoll()
+	}
 }
 
 // trimPeaks drops history older than PeakHistory.
@@ -550,8 +975,6 @@ func (a *Agent) qosCheck() {
 			})
 		}
 		a.target = a.cfg.PrimaryAlloc
-		if a.hv.SetPrimaryCores(a.target) {
-			a.resizeCount++
-		}
+		a.fireAndForgetResize(a.target)
 	}
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"smartharvest/internal/sim"
 )
+
+var errFakeResize = errors.New("fake transient resize failure")
 
 // fakeHV scripts the hypervisor side of the agent contract.
 type fakeHV struct {
@@ -15,6 +18,9 @@ type fakeHV struct {
 	resizeLat sim.Time
 	waits     []int64
 	resizeLog []int
+	// failResizes fails the next N non-no-op resize requests.
+	failResizes int
+	failures    int
 }
 
 func (f *fakeHV) TotalCores() int { return f.total }
@@ -28,15 +34,19 @@ func (f *fakeHV) BusyPrimaryCores() int {
 	}
 	return b
 }
-func (f *fakeHV) SetPrimaryCores(n int) bool {
+func (f *fakeHV) SetPrimaryCores(n int) (ResizeResult, error) {
 	if n == f.primary {
-		return false
+		return ResizeResult{}, nil
+	}
+	if f.failResizes > 0 {
+		f.failResizes--
+		f.failures++
+		return ResizeResult{}, errFakeResize
 	}
 	f.primary = n
 	f.resizeLog = append(f.resizeLog, n)
-	return true
+	return ResizeResult{Applied: true, Latency: f.resizeLat}, nil
 }
-func (f *fakeHV) ResizeLatency() sim.Time { return f.resizeLat }
 func (f *fakeHV) DrainPrimaryWaits() []int64 {
 	w := f.waits
 	f.waits = nil

@@ -170,3 +170,66 @@ func TestSmartHarvestModelPersistence(t *testing.T) {
 		t.Fatal("adaptive save accepted")
 	}
 }
+
+// TestCheckpointRestorePredictionsIdentical is the crash-restart
+// round-trip: checkpoint the controller at window W, restore into a
+// fresh agent's controller, and require bit-identical decisions for
+// every subsequent window. Unlike SaveModel/LoadModel, Checkpoint
+// carries the train-on-previous-features state (prevX/havePrev), so the
+// two controllers also train identically from W+1 on.
+func TestCheckpointRestorePredictionsIdentical(t *testing.T) {
+	// Deterministic, varying workload: no two adjacent windows alike.
+	window := func(i int) Window {
+		base := 1 + i%4
+		peak := base + (i/3)%3
+		return Window{
+			Samples:       []int{base, peak, base + 1, peak, base},
+			Peak:          peak,
+			Peak1s:        peak + i%2,
+			Busy:          base,
+			CurrentTarget: 10,
+		}
+	}
+	a := NewSmartHarvest(10, SmartHarvestOptions{})
+	const w = 120
+	for i := 0; i < w; i++ {
+		a.OnWindowEnd(window(i))
+	}
+	snap, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainsAtCheckpoint := a.TrainUpdates()
+	b := NewSmartHarvest(10, SmartHarvestOptions{})
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := w; i < 2*w; i++ {
+		ga, gb := a.OnWindowEnd(window(i)), b.OnWindowEnd(window(i))
+		if ga != gb {
+			t.Fatalf("window %d: restored decision %d != original %d", i+1, gb, ga)
+		}
+	}
+	if got, want := b.TrainUpdates(), a.TrainUpdates()-trainsAtCheckpoint; got != want {
+		t.Fatalf("restored controller trained %d times, original %d after checkpoint", got, want)
+	}
+
+	// Corrupt checkpoints are rejected, not silently accepted.
+	if err := b.Restore([]byte(`{"model":"","prev_x":[1],"have_prev":true}`)); err == nil {
+		t.Fatal("short prev_x accepted")
+	}
+	if err := b.Restore([]byte(`not json`)); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+
+	// Adaptive models cannot checkpoint (no SaveModel support); the
+	// agent's restart path falls back to Reset in that case.
+	d := NewSmartHarvest(10, SmartHarvestOptions{Adaptive: true})
+	if _, err := d.Checkpoint(); err == nil {
+		t.Fatal("adaptive checkpoint accepted")
+	}
+	d.Reset()
+	if got := d.OnWindowEnd(window(0)); got < 1 || got > 10 {
+		t.Fatalf("reset adaptive controller decision %d out of range", got)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -67,6 +69,7 @@ type SmartHarvest struct {
 	model  learner.Model
 	cost   learner.CostFunc
 	mode   SafeguardMode
+	lr     float64
 
 	x, prevX []float64
 	costs    []float64
@@ -118,6 +121,7 @@ func NewSmartHarvest(alloc int, opts SmartHarvestOptions) *SmartHarvest {
 		model: model,
 		cost:  opts.Cost,
 		mode:  opts.Safeguard,
+		lr:    opts.LearningRate,
 		x:     make([]float64, learner.NumFeatures),
 		prevX: make([]float64, learner.NumFeatures),
 		costs: make([]float64, classes),
@@ -443,4 +447,58 @@ func (s *SmartHarvest) LoadModel(r io.Reader) error {
 	s.model = m
 	s.havePrev = false
 	return nil
+}
+
+// checkpoint is the serialized crash-recovery state: the model weights
+// via the CSOAA serialize round-trip, plus the train-on-previous-features
+// pipeline state (prevX/havePrev) so a restored controller makes
+// byte-identical predictions from the next window on.
+type checkpoint struct {
+	Model    []byte    `json:"model"`
+	PrevX    []float64 `json:"prev_x"`
+	HavePrev bool      `json:"have_prev"`
+}
+
+// Checkpoint implements Checkpointer.
+func (s *SmartHarvest) Checkpoint() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.SaveModel(&buf); err != nil {
+		return nil, err
+	}
+	return json.Marshal(checkpoint{
+		Model:    buf.Bytes(),
+		PrevX:    s.prevX,
+		HavePrev: s.havePrev,
+	})
+}
+
+// Restore implements Checkpointer.
+func (s *SmartHarvest) Restore(data []byte) error {
+	var cp checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("core: bad checkpoint: %w", err)
+	}
+	if len(cp.PrevX) != learner.NumFeatures {
+		return fmt.Errorf("core: checkpoint has %d features, want %d",
+			len(cp.PrevX), learner.NumFeatures)
+	}
+	if err := s.LoadModel(bytes.NewReader(cp.Model)); err != nil {
+		return err
+	}
+	copy(s.prevX, cp.PrevX)
+	s.havePrev = cp.HavePrev
+	return nil
+}
+
+// Reset implements Checkpointer: back to the conservative prior, as a
+// restarted agent with no usable checkpoint would come up.
+func (s *SmartHarvest) Reset() {
+	classes := s.model.Classes()
+	var model learner.Model = learner.NewCSOAA(classes, learner.NumFeatures, s.lr)
+	if _, adaptive := s.model.(*learner.AdaptiveCSOAA); adaptive {
+		model = learner.NewAdaptiveCSOAA(classes, learner.NumFeatures, s.lr)
+	}
+	s.model = model
+	s.model.InitBias(learner.FillCosts(s.costs, s.cost, classes-1))
+	s.havePrev = false
 }

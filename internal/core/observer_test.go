@@ -158,3 +158,82 @@ func TestAgentLoopNoObserverZeroAllocs(t *testing.T) {
 		t.Fatalf("disabled-observer agent loop allocates %d/op, want 0", a)
 	}
 }
+
+// starvedOnceHV reports starved waits only on the first drain, so the
+// long-term safeguard trips exactly once and the pause then runs out.
+type starvedOnceHV struct {
+	*fakeHV
+	drained bool
+}
+
+func (h *starvedOnceHV) DrainPrimaryWaits() []int64 {
+	if h.drained {
+		return nil
+	}
+	h.drained = true
+	return []int64{int64(sim.Millisecond), int64(sim.Millisecond)}
+}
+
+// TestPauseExpiresOnWindowBoundary pins the boundary semantics of the
+// long-term safeguard: HarvestingPaused is `now < pausedUntil`, so a
+// window decision made at exactly pausedUntil is already live. The trip
+// lands at 500ms and HarvestPause is 2s, putting pausedUntil at 2.5s —
+// an exact multiple of the 25ms learning window.
+func TestPauseExpiresOnWindowBoundary(t *testing.T) {
+	loop := sim.NewLoop()
+	hv := newFake(loop, 11)
+	hv.busyFn = func(sim.Time) int { return 2 }
+	hv.resizeLat = 0 // keep the window grid on exact 25ms multiples
+	ring := obs.NewRing(1 << 16)
+	cfg := DefaultConfig(10, 1)
+	cfg.Observer = ring
+	cfg.PostResizeSleep = 0
+	cfg.QoSConsecutive = 1
+	cfg.HarvestPause = 2 * sim.Second
+	agent, err := NewAgent(loop, &starvedOnceHV{fakeHV: hv}, NewSmartHarvest(10, SmartHarvestOptions{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Start()
+	loop.RunUntil(4 * sim.Second)
+
+	if got := agent.QoSTrips(); got != 1 {
+		t.Fatalf("QoS trips %d, want exactly 1", got)
+	}
+	const pausedUntil = 2500 * sim.Millisecond
+	var sawLast, sawFirst, sawResume bool
+	for _, rec := range ring.Records() {
+		switch rec.Kind {
+		case obs.KindQoSTrip:
+			if e := rec.QoSTrip; e.PauseUntil != pausedUntil {
+				t.Fatalf("pause until %v, want %v", e.PauseUntil, pausedUntil)
+			}
+		case obs.KindQoSResume:
+			sawResume = true
+			// The resume is observed by the first QoS check at/after
+			// expiry; with a 500ms QoS window that is exactly 2.5s.
+			if rec.QoSResume.At != pausedUntil {
+				t.Fatalf("QoSResume at %v, want %v", rec.QoSResume.At, pausedUntil)
+			}
+		case obs.KindWindowEnd:
+			w := rec.WindowEnd
+			switch w.At {
+			case pausedUntil - 25*sim.Millisecond:
+				// Last decision inside the pause: clamped to the alloc.
+				sawLast = true
+				if w.Clamp != obs.ClampPaused || w.Target != 10 {
+					t.Fatalf("window at %v: clamp %v target %d, want paused/10", w.At, w.Clamp, w.Target)
+				}
+			case pausedUntil:
+				// Decision at exactly pausedUntil: harvesting is live again.
+				sawFirst = true
+				if w.Clamp == obs.ClampPaused {
+					t.Fatalf("window at exactly pausedUntil still clamped paused")
+				}
+			}
+		}
+	}
+	if !sawLast || !sawFirst || !sawResume {
+		t.Fatalf("missing boundary events: last=%v first=%v resume=%v", sawLast, sawFirst, sawResume)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/faults"
+	"smartharvest/internal/harness"
+)
+
+// chaosBasePlan is the ×1 fault mix the chaos experiment scales: every
+// injection surface enabled at rates high enough to exercise the retry
+// and degradation machinery within a 30 s run, low enough that the agent
+// spends most of the run harvesting.
+func chaosBasePlan() faults.Plan {
+	return faults.Plan{
+		HypercallFailProb:  0.05,
+		HypercallDelayProb: 0.05,
+		PollDropProb:       0.001,
+		PollStaleProb:      0.002,
+		PollNoiseProb:      0.01,
+		StallProb:          0.005,
+		CrashProb:          0.001,
+	}
+}
+
+// Chaos sweeps fault intensity over the headline scenario (Memcached 40k
+// + CPUBully, SmartHarvest, long-term safeguard on) and reports how P99
+// and the harvest degrade as the injected fault rate grows. The ×0 run
+// is the fault-free reference; every other run injects the base plan
+// with all probabilities scaled. The whole sweep is deterministic from
+// cfg.Seed.
+func Chaos(cfg Config) (*Report, error) {
+	intensities := []struct {
+		name  string
+		scale float64
+	}{
+		{"fault-free", 0},
+		{"light (x0.25)", 0.25},
+		{"moderate (x1)", 1},
+		{"heavy (x4)", 4},
+	}
+	base := chaosBasePlan()
+	scens := make([]harness.Scenario, len(intensities))
+	for i, in := range intensities {
+		s := scenario(cfg, "chaos-"+in.name, apps.Memcached(40000), smartharvest())
+		s.Faults = base.Scale(in.scale)
+		scens[i] = s
+	}
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "chaos", Title: "fault-injection sweep (Memcached 40k + CPUBully, SmartHarvest)"}
+	free := results[0]
+	r.addf("%-15s %10s %8s %10s %9s %8s %8s %8s %9s", "intensity",
+		"P99", "vs free", "harvested", "faults", "retries", "aborts", "degrade", "missedW")
+	for i, in := range intensities {
+		res := results[i]
+		delta := "-"
+		if i > 0 {
+			delta = pct(res.P99(0), free.P99(0))
+		}
+		r.addf("%-15s %10s %8s %10.2f %9d %8d %8d %8d %9d",
+			in.name, ms(res.P99(0)), delta, res.AvgHarvestedCores,
+			res.FaultsInjected, res.ResizeRetries, res.ResizesAborted,
+			res.Degradations, res.MissedWindows)
+	}
+	r.addf("")
+	r.addf("harvested core-seconds: fault-free %.1f", free.AvgHarvestedCores*free.Duration.Seconds())
+	for i, in := range intensities[1:] {
+		res := results[i+1]
+		cs := res.AvgHarvestedCores * res.Duration.Seconds()
+		freeCS := free.AvgHarvestedCores * free.Duration.Seconds()
+		delta := "n/a"
+		if freeCS > 0 {
+			delta = fmt.Sprintf("%+.0f%% vs fault-free", (cs/freeCS-1)*100)
+		}
+		r.addf("harvested core-seconds: %s %.1f (%s)", in.name, cs, delta)
+	}
+	return r, nil
+}

@@ -220,6 +220,7 @@ func All() []struct {
 		{"fleet", Fleet},
 		{"guard-sweep", SafeguardSweep},
 		{"memharvest", MemHarvest},
+		{"chaos", Chaos},
 	}
 }
 

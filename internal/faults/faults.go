@@ -1,0 +1,380 @@
+// Package faults is the deterministic fault-injection layer: a single
+// seeded injector that perturbs the three surfaces the EVMAgent depends
+// on — the resize hypercall, the busy-core monitoring signal, and the
+// agent process itself — so the resilience machinery in internal/core
+// can be exercised, measured, and checked reproducibly.
+//
+// Everything is driven by a simrng stream carved off the scenario RNG, so
+// a given (seed, Plan) pair produces a byte-identical fault schedule. A
+// zero Plan is disabled: the harness then constructs no injector and
+// draws nothing from the RNG, which keeps fault-free runs byte-identical
+// to builds without this package in the loop.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"smartharvest/internal/core"
+	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sim"
+	"smartharvest/internal/simrng"
+)
+
+// Plan parameterizes the injector. The zero value injects nothing.
+type Plan struct {
+	// HypercallFailProb is the probability that an accepted resize
+	// hypercall fails transiently (the split does not change).
+	HypercallFailProb float64
+	// HypercallDelayProb is the probability that a resize hypercall
+	// suffers a latency spike, drawn log-normally.
+	HypercallDelayProb float64
+	// HypercallDelayMean/P99 parameterize the spike distribution
+	// (defaults 2 ms mean, 10 ms P99).
+	HypercallDelayMean sim.Time
+	HypercallDelayP99  sim.Time
+
+	// PollDropProb is the probability a busy-core reading is lost.
+	PollDropProb float64
+	// PollStaleProb is the probability a reading repeats the previous
+	// delivered value instead of the current one.
+	PollStaleProb float64
+	// PollNoiseProb is the probability a reading is perturbed by ±1 core
+	// (clamped to the valid range).
+	PollNoiseProb float64
+
+	// StallProb is the per-window probability the agent stalls for
+	// StallDur before the window starts (default 60 ms).
+	StallProb float64
+	StallDur  sim.Time
+	// CrashProb is the per-window probability the agent crashes and
+	// restarts after RestartDur (default 250 ms), losing in-memory window
+	// state. The model survives through a checkpoint round-trip unless
+	// LoseModel is set.
+	CrashProb  float64
+	RestartDur sim.Time
+	LoseModel  bool
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.HypercallFailProb > 0 || p.HypercallDelayProb > 0 ||
+		p.PollDropProb > 0 || p.PollStaleProb > 0 || p.PollNoiseProb > 0 ||
+		p.StallProb > 0 || p.CrashProb > 0
+}
+
+// Scale returns the plan with every probability multiplied by f (clamped
+// to 1) and durations unchanged — the knob the chaos experiment sweeps.
+func (p Plan) Scale(f float64) Plan {
+	s := p
+	for _, q := range []*float64{
+		&s.HypercallFailProb, &s.HypercallDelayProb,
+		&s.PollDropProb, &s.PollStaleProb, &s.PollNoiseProb,
+		&s.StallProb, &s.CrashProb,
+	} {
+		*q *= f
+		if *q > 1 {
+			*q = 1
+		}
+	}
+	return s
+}
+
+func (p *Plan) validate() error {
+	for _, v := range []struct {
+		name string
+		p    float64
+	}{
+		{"hfail", p.HypercallFailProb}, {"hdelay", p.HypercallDelayProb},
+		{"drop", p.PollDropProb}, {"stale", p.PollStaleProb}, {"noise", p.PollNoiseProb},
+		{"stall", p.StallProb}, {"crash", p.CrashProb},
+	} {
+		if v.p < 0 || v.p > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", v.name, v.p)
+		}
+	}
+	if p.HypercallDelayMean < 0 || p.HypercallDelayP99 < 0 ||
+		p.StallDur < 0 || p.RestartDur < 0 {
+		return fmt.Errorf("faults: durations must be non-negative")
+	}
+	return nil
+}
+
+// withDefaults fills duration defaults for any enabled fault class.
+func (p Plan) withDefaults() Plan {
+	if p.HypercallDelayProb > 0 {
+		if p.HypercallDelayMean == 0 {
+			p.HypercallDelayMean = 2 * sim.Millisecond
+		}
+		if p.HypercallDelayP99 == 0 {
+			p.HypercallDelayP99 = 10 * sim.Millisecond
+		}
+		if p.HypercallDelayP99 < p.HypercallDelayMean {
+			p.HypercallDelayP99 = p.HypercallDelayMean
+		}
+	}
+	if p.StallProb > 0 && p.StallDur == 0 {
+		p.StallDur = 60 * sim.Millisecond
+	}
+	if p.CrashProb > 0 && p.RestartDur == 0 {
+		p.RestartDur = 250 * sim.Millisecond
+	}
+	return p
+}
+
+// ParsePlan parses the -faults CLI syntax: comma-separated key=value
+// pairs, e.g. "hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms".
+// Probability keys: hfail, hdelay, drop, stale, noise, stall, crash.
+// Duration keys (Go duration syntax): hdelaymean, hdelayp99, stalldur,
+// restartdur. Boolean key: losemodel. An empty string is the zero Plan.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: bad pair %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "hfail":
+			p.HypercallFailProb, err = strconv.ParseFloat(v, 64)
+		case "hdelay":
+			p.HypercallDelayProb, err = strconv.ParseFloat(v, 64)
+		case "drop":
+			p.PollDropProb, err = strconv.ParseFloat(v, 64)
+		case "stale":
+			p.PollStaleProb, err = strconv.ParseFloat(v, 64)
+		case "noise":
+			p.PollNoiseProb, err = strconv.ParseFloat(v, 64)
+		case "stall":
+			p.StallProb, err = strconv.ParseFloat(v, 64)
+		case "crash":
+			p.CrashProb, err = strconv.ParseFloat(v, 64)
+		case "hdelaymean":
+			p.HypercallDelayMean, err = parseDur(v)
+		case "hdelayp99":
+			p.HypercallDelayP99, err = parseDur(v)
+		case "stalldur":
+			p.StallDur, err = parseDur(v)
+		case "restartdur":
+			p.RestartDur, err = parseDur(v)
+		case "losemodel":
+			p.LoseModel, err = strconv.ParseBool(v)
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown key %q", k)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: bad value for %s: %v", k, err)
+		}
+	}
+	if err := p.validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return sim.Duration(d), nil
+}
+
+// String renders the plan back in ParsePlan syntax (only non-zero keys).
+func (p Plan) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("hfail", p.HypercallFailProb)
+	add("hdelay", p.HypercallDelayProb)
+	add("drop", p.PollDropProb)
+	add("stale", p.PollStaleProb)
+	add("noise", p.PollNoiseProb)
+	add("stall", p.StallProb)
+	add("crash", p.CrashProb)
+	if p.HypercallDelayMean > 0 {
+		parts = append(parts, "hdelaymean="+p.HypercallDelayMean.String())
+	}
+	if p.HypercallDelayP99 > 0 {
+		parts = append(parts, "hdelayp99="+p.HypercallDelayP99.String())
+	}
+	if p.StallDur > 0 {
+		parts = append(parts, "stalldur="+p.StallDur.String())
+	}
+	if p.RestartDur > 0 {
+		parts = append(parts, "restartdur="+p.RestartDur.String())
+	}
+	if p.LoseModel {
+		parts = append(parts, "losemodel=true")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Injector draws the fault schedule. It implements
+// hypervisor.ResizeFaults and core.AgentFaults, and its SamplePoll
+// wraps the busy-core signal. One injector serves one scenario; it is
+// not safe for concurrent use (the sim loop is single-threaded).
+type Injector struct {
+	plan Plan
+	rng  *simrng.Rand
+	now  func() sim.Time
+	obs  obs.Observer
+
+	delayMu, delaySigma float64
+	lastBusy            int // last delivered (possibly faulty) reading
+
+	counts map[obs.FaultKind]uint64
+}
+
+// NewInjector builds an injector for the plan (defaults filled) drawing
+// from rng. now supplies the current simulated time for event stamps;
+// observer may be nil.
+func NewInjector(plan Plan, rng *simrng.Rand, now func() sim.Time, observer obs.Observer) (*Injector, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	plan = plan.withDefaults()
+	inj := &Injector{
+		plan:   plan,
+		rng:    rng,
+		now:    now,
+		obs:    observer,
+		counts: make(map[obs.FaultKind]uint64),
+	}
+	if plan.HypercallDelayProb > 0 {
+		ratio := float64(plan.HypercallDelayP99) / float64(plan.HypercallDelayMean)
+		inj.delayMu, inj.delaySigma = simrng.LogNormalParams(float64(plan.HypercallDelayMean), ratio)
+	}
+	return inj, nil
+}
+
+// Plan returns the (defaults-filled) plan in force.
+func (i *Injector) Plan() Plan { return i.plan }
+
+func (i *Injector) emit(kind obs.FaultKind, dur sim.Time, delta int) {
+	i.counts[kind]++
+	if i.obs != nil {
+		i.obs.OnFaultInjected(obs.FaultInjected{At: i.now(), Kind: kind, Dur: dur, Delta: delta})
+	}
+}
+
+// ResizeFault implements hypervisor.ResizeFaults: consulted once per
+// accepted non-no-op resize request.
+func (i *Injector) ResizeFault() (fail bool, extra sim.Time) {
+	if p := i.plan.HypercallDelayProb; p > 0 && i.rng.Bool(p) {
+		extra = sim.Time(i.rng.LogNormal(i.delayMu, i.delaySigma))
+		i.emit(obs.FaultHypercallDelay, extra, 0)
+	}
+	if p := i.plan.HypercallFailProb; p > 0 && i.rng.Bool(p) {
+		fail = true
+		i.emit(obs.FaultHypercallFail, extra, 0)
+	}
+	return fail, extra
+}
+
+// SamplePoll perturbs one busy-core reading in [0, total]; -1 means the
+// reading was dropped.
+func (i *Injector) SamplePoll(busy, total int) int {
+	if p := i.plan.PollDropProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultPollDrop, 0, 0)
+		return -1
+	}
+	if p := i.plan.PollStaleProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultPollStale, 0, i.lastBusy-busy)
+		return i.lastBusy
+	}
+	if p := i.plan.PollNoiseProb; p > 0 && i.rng.Bool(p) {
+		delta := 1
+		if i.rng.Bool(0.5) {
+			delta = -1
+		}
+		noisy := busy + delta
+		if noisy < 0 {
+			noisy = 0
+		}
+		if noisy > total {
+			noisy = total
+		}
+		i.emit(obs.FaultPollNoise, 0, noisy-busy)
+		busy = noisy
+	}
+	i.lastBusy = busy
+	return busy
+}
+
+// WindowFault implements core.AgentFaults: consulted once per learning
+// window. A crash takes precedence over a stall in the same window.
+func (i *Injector) WindowFault() core.AgentFault {
+	if p := i.plan.CrashProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultAgentCrash, i.plan.RestartDur, 0)
+		return core.AgentFault{
+			Crash:     true,
+			Restart:   i.plan.RestartDur,
+			LoseModel: i.plan.LoseModel,
+		}
+	}
+	if p := i.plan.StallProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultAgentStall, i.plan.StallDur, 0)
+		return core.AgentFault{Stall: i.plan.StallDur}
+	}
+	return core.AgentFault{}
+}
+
+// Counts returns a copy of the per-kind injection tallies.
+func (i *Injector) Counts() map[obs.FaultKind]uint64 {
+	out := make(map[obs.FaultKind]uint64, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns how many faults were injected across all kinds.
+func (i *Injector) Total() uint64 {
+	var n uint64
+	for _, v := range i.counts {
+		n += v
+	}
+	return n
+}
+
+// CountsString renders the tallies deterministically (sorted by kind).
+func (i *Injector) CountsString() string {
+	kinds := make([]int, 0, len(i.counts))
+	for k := range i.counts {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	var parts []string
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", obs.FaultKind(k), i.counts[obs.FaultKind(k)]))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Interface conformance.
+var (
+	_ hypervisor.ResizeFaults = (*Injector)(nil)
+	_ core.AgentFaults        = (*Injector)(nil)
+)

@@ -1,0 +1,289 @@
+package faults
+
+import (
+	"testing"
+
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sim"
+	"smartharvest/internal/simrng"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	in := "hfail=0.05,hdelay=0.02,drop=0.01,stale=0.03,noise=0.1,stall=0.001,crash=0.0005," +
+		"hdelaymean=2ms,hdelayp99=10ms,stalldur=60ms,restartdur=250ms,losemodel=true"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HypercallFailProb != 0.05 || p.PollDropProb != 0.01 || p.CrashProb != 0.0005 {
+		t.Fatalf("parsed plan wrong: %+v", p)
+	}
+	if p.StallDur != 60*sim.Millisecond || p.RestartDur != 250*sim.Millisecond {
+		t.Fatalf("parsed durations wrong: %+v", p)
+	}
+	if !p.LoseModel {
+		t.Fatal("losemodel not parsed")
+	}
+	// String renders back into something ParsePlan accepts and that
+	// reproduces the same plan.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if p2 != p {
+		t.Fatalf("round trip changed plan:\n %+v\n %+v", p, p2)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"hfail",             // not key=value
+		"bogus=1",           // unknown key
+		"hfail=x",           // not a float
+		"hfail=1.5",         // probability out of range
+		"drop=-0.1",         // negative probability
+		"stalldur=abc",      // not a duration
+		"stalldur=-5ms",     // negative duration
+		"losemodel=perhaps", // not a bool
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePlanEmptyAndZero(t *testing.T) {
+	p, err := ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Enabled() {
+		t.Fatal("empty spec produced an enabled plan")
+	}
+	if got := p.String(); got != "none" {
+		t.Fatalf("zero plan renders %q, want none", got)
+	}
+}
+
+func TestScaleClampsProbabilities(t *testing.T) {
+	p := Plan{HypercallFailProb: 0.4, PollDropProb: 0.01, StallDur: 60 * sim.Millisecond}
+	s := p.Scale(4)
+	if s.HypercallFailProb != 1 {
+		t.Fatalf("scaled hfail %v, want clamped 1", s.HypercallFailProb)
+	}
+	if s.PollDropProb != 0.04 {
+		t.Fatalf("scaled drop %v, want 0.04", s.PollDropProb)
+	}
+	if s.StallDur != p.StallDur {
+		t.Fatal("Scale must not touch durations")
+	}
+	if z := p.Scale(0); z.Enabled() {
+		t.Fatal("zero-scaled plan still enabled")
+	}
+}
+
+func TestDefaultsFilledOnlyForEnabledClasses(t *testing.T) {
+	inj, err := NewInjector(Plan{HypercallDelayProb: 0.1, StallProb: 0.1, CrashProb: 0.1},
+		simrng.New(1), func() sim.Time { return 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inj.Plan()
+	if p.HypercallDelayMean != 2*sim.Millisecond || p.HypercallDelayP99 != 10*sim.Millisecond {
+		t.Fatalf("delay defaults not filled: %+v", p)
+	}
+	if p.StallDur != 60*sim.Millisecond || p.RestartDur != 250*sim.Millisecond {
+		t.Fatalf("agent-fault defaults not filled: %+v", p)
+	}
+	// A disabled class keeps its zero durations.
+	inj2, err := NewInjector(Plan{PollDropProb: 0.1}, simrng.New(1), func() sim.Time { return 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 := inj2.Plan(); p2.StallDur != 0 || p2.HypercallDelayMean != 0 {
+		t.Fatalf("defaults filled for disabled classes: %+v", p2)
+	}
+}
+
+func TestNewInjectorRejectsInvalidPlan(t *testing.T) {
+	if _, err := NewInjector(Plan{CrashProb: 2}, simrng.New(1), func() sim.Time { return 0 }, nil); err == nil {
+		t.Fatal("probability >1 accepted")
+	}
+	if _, err := NewInjector(Plan{StallDur: -1}, simrng.New(1), func() sim.Time { return 0 }, nil); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	plan := Plan{
+		HypercallFailProb: 0.3, HypercallDelayProb: 0.3,
+		PollDropProb: 0.05, PollStaleProb: 0.05, PollNoiseProb: 0.1,
+		StallProb: 0.2, CrashProb: 0.1,
+	}
+	run := func(seed uint64) ([]bool, []sim.Time, []int, []core0) {
+		inj, err := NewInjector(plan, simrng.New(seed), func() sim.Time { return 0 }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fails []bool
+		var extras []sim.Time
+		var polls []int
+		var wins []core0
+		for k := 0; k < 200; k++ {
+			f, e := inj.ResizeFault()
+			fails = append(fails, f)
+			extras = append(extras, e)
+			polls = append(polls, inj.SamplePoll(k%8, 8))
+			w := inj.WindowFault()
+			wins = append(wins, core0{w.Crash, w.Stall, w.Restart})
+		}
+		return fails, extras, polls, wins
+	}
+	f1, e1, p1, w1 := run(42)
+	f2, e2, p2, w2 := run(42)
+	for k := range f1 {
+		if f1[k] != f2[k] || e1[k] != e2[k] || p1[k] != p2[k] || w1[k] != w2[k] {
+			t.Fatalf("same seed diverged at draw %d", k)
+		}
+	}
+	f3, _, p3, _ := run(43)
+	same := true
+	for k := range f1 {
+		if f1[k] != f3[k] || p1[k] != p3[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 200-draw schedule")
+	}
+}
+
+type core0 struct {
+	crash   bool
+	stall   sim.Time
+	restart sim.Time
+}
+
+func TestSamplePollBoundsAndKinds(t *testing.T) {
+	const total = 8
+	inj, err := NewInjector(Plan{PollDropProb: 0.1, PollStaleProb: 0.1, PollNoiseProb: 0.5},
+		simrng.New(7), func() sim.Time { return 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5000; k++ {
+		busy := k % (total + 1)
+		got := inj.SamplePoll(busy, total)
+		if got != -1 && (got < 0 || got > total) {
+			t.Fatalf("delivered reading %d outside [0,%d]", got, total)
+		}
+	}
+	c := inj.Counts()
+	for _, kind := range []obs.FaultKind{obs.FaultPollDrop, obs.FaultPollStale, obs.FaultPollNoise} {
+		if c[kind] == 0 {
+			t.Errorf("no %v injected across 5000 polls at prob >= 0.1", kind)
+		}
+	}
+	if inj.Total() != c[obs.FaultPollDrop]+c[obs.FaultPollStale]+c[obs.FaultPollNoise] {
+		t.Fatal("Total disagrees with Counts")
+	}
+}
+
+func TestStaleDeliversPreviousReading(t *testing.T) {
+	// With stale probability 1 every reading after the first repeats the
+	// previously delivered one.
+	inj, err := NewInjector(Plan{PollStaleProb: 1}, simrng.New(3), func() sim.Time { return 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.SamplePoll(5, 8); got != 0 {
+		// Nothing delivered yet; lastBusy starts at 0.
+		t.Fatalf("first stale reading %d, want 0", got)
+	}
+	if got := inj.SamplePoll(7, 8); got != 0 {
+		t.Fatalf("second stale reading %d, want sticky 0", got)
+	}
+}
+
+func TestCrashTakesPrecedenceOverStall(t *testing.T) {
+	inj, err := NewInjector(Plan{StallProb: 1, CrashProb: 1, LoseModel: true},
+		simrng.New(9), func() sim.Time { return 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 50; k++ {
+		f := inj.WindowFault()
+		if !f.Crash {
+			t.Fatalf("window %d: crash prob 1 did not crash", k)
+		}
+		if f.Stall != 0 {
+			t.Fatalf("window %d: crash carries a stall", k)
+		}
+		if f.Restart != inj.Plan().RestartDur || !f.LoseModel {
+			t.Fatalf("window %d: fault %+v", k, f)
+		}
+	}
+	c := inj.Counts()
+	if c[obs.FaultAgentCrash] != 50 || c[obs.FaultAgentStall] != 0 {
+		t.Fatalf("counts %v", c)
+	}
+}
+
+func TestInjectorEmitsObserverEvents(t *testing.T) {
+	ring := obs.NewRing(1 << 10)
+	now := sim.Time(0)
+	inj, err := NewInjector(Plan{HypercallFailProb: 1, HypercallDelayProb: 1, PollDropProb: 1, CrashProb: 1},
+		simrng.New(5), func() sim.Time { return now }, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 100 * sim.Millisecond
+	fail, extra := inj.ResizeFault()
+	if !fail || extra <= 0 {
+		t.Fatalf("prob-1 resize fault: fail=%v extra=%v", fail, extra)
+	}
+	if got := inj.SamplePoll(4, 8); got != -1 {
+		t.Fatalf("prob-1 drop delivered %d", got)
+	}
+	inj.WindowFault()
+
+	recs := ring.Records()
+	if len(recs) != 4 { // delay, fail, drop, crash
+		t.Fatalf("%d fault events, want 4", len(recs))
+	}
+	kinds := map[obs.FaultKind]bool{}
+	for _, r := range recs {
+		if r.Kind != obs.KindFaultInjected {
+			t.Fatalf("unexpected record kind %v", r.Kind)
+		}
+		e := r.FaultInjected
+		if e.At != 100*sim.Millisecond {
+			t.Fatalf("event stamped %v, want 100ms", e.At)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, k := range []obs.FaultKind{obs.FaultHypercallDelay, obs.FaultHypercallFail, obs.FaultPollDrop, obs.FaultAgentCrash} {
+		if !kinds[k] {
+			t.Errorf("missing %v event", k)
+		}
+	}
+	if inj.CountsString() == "none" {
+		t.Fatal("CountsString empty after injections")
+	}
+}
+
+func TestCountsStringDeterministic(t *testing.T) {
+	inj, err := NewInjector(Plan{PollDropProb: 1, HypercallFailProb: 1},
+		simrng.New(11), func() sim.Time { return 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.SamplePoll(1, 8)
+	inj.ResizeFault()
+	a := inj.CountsString()
+	b := inj.CountsString()
+	if a != b || a == "none" {
+		t.Fatalf("CountsString unstable: %q vs %q", a, b)
+	}
+}

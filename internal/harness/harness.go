@@ -12,6 +12,7 @@ import (
 	"smartharvest/internal/apps"
 	"smartharvest/internal/check"
 	"smartharvest/internal/core"
+	"smartharvest/internal/faults"
 	"smartharvest/internal/hypervisor"
 	"smartharvest/internal/metrics"
 	"smartharvest/internal/obs"
@@ -144,6 +145,13 @@ type Scenario struct {
 	// state check into it, and reports the outcome in Result.Check. A
 	// Checker verifies exactly one run; reuse is rejected at Bind.
 	Checker *check.Checker
+	// Faults injects deterministic hypervisor/signal/agent faults (see
+	// internal/faults). The zero Plan is disabled and draws nothing from
+	// the scenario RNG, so fault-free runs stay byte-identical.
+	Faults faults.Plan
+	// Resilience overrides the agent's fault-response policy; nil keeps
+	// core.DefaultResilience.
+	Resilience *core.ResiliencePolicy
 }
 
 // ScenarioOption adjusts a Scenario at Run time without mutating the
@@ -219,6 +227,21 @@ type Result struct {
 	QoSTrips   uint64
 	Resizes    uint64
 
+	// Fault-injection and resilience counters (all zero on fault-free
+	// runs).
+	FaultsInjected uint64
+	ResizeRetries  uint64
+	ResizeFailures uint64
+	ResizesAborted uint64
+	MissedPolls    uint64
+	MissedWindows  uint64
+	Stalls         uint64
+	Crashes        uint64
+	Degradations   uint64
+	// Degraded reports the agent ended the run in degraded (NoHarvest)
+	// mode.
+	Degraded bool
+
 	// Reassignment-mechanism latency (Figure 14).
 	Grow, Shrink metrics.Summary
 	GrowCDF      []metrics.CDFPoint
@@ -247,11 +270,33 @@ type machineHV struct {
 	m *hypervisor.Machine
 }
 
-func (a machineHV) TotalCores() int            { return a.m.TotalCores() }
-func (a machineHV) BusyPrimaryCores() int      { return a.m.BusyCores(hypervisor.PrimaryGroup) }
-func (a machineHV) SetPrimaryCores(n int) bool { return a.m.SetPrimaryCores(n) }
-func (a machineHV) ResizeLatency() sim.Time    { return a.m.ResizeLatency() }
+func (a machineHV) TotalCores() int       { return a.m.TotalCores() }
+func (a machineHV) BusyPrimaryCores() int { return a.m.BusyCores(hypervisor.PrimaryGroup) }
+func (a machineHV) SetPrimaryCores(n int) (core.ResizeResult, error) {
+	out, err := a.m.SetPrimaryCores(n)
+	if err != nil {
+		return core.ResizeResult{}, err
+	}
+	return core.ResizeResult{
+		Applied: out.Status == hypervisor.ResizeApplied,
+		Latency: out.Latency,
+	}, nil
+}
 func (a machineHV) DrainPrimaryWaits() []int64 { return a.m.DrainPrimaryWaits() }
+
+// faultyHV additionally routes the busy-core signal through the fault
+// injector, so polls can be dropped, staled, or perturbed.
+type faultyHV struct {
+	machineHV
+	inj *faults.Injector
+}
+
+func (a faultyHV) BusyPrimaryCores() int {
+	// A perturbed reading stays within the primary group's current size:
+	// the sensor misreads a bitmap of that many slots, it cannot invent
+	// cores the group does not hold.
+	return a.inj.SamplePoll(a.m.BusyCores(hypervisor.PrimaryGroup), a.m.GroupCores(hypervisor.PrimaryGroup))
+}
 
 func (s *Scenario) applyDefaults() {
 	if s.PrimaryVMCores == 0 {
@@ -391,6 +436,12 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	if s.Mechanism == hypervisor.IPI {
 		agentCfg.PostResizeSleep = 0
 	}
+	if s.Resilience != nil {
+		agentCfg.Resilience = *s.Resilience
+	}
+	if agentCfg.Resilience == (core.ResiliencePolicy{}) {
+		agentCfg.Resilience = core.DefaultResilience()
+	}
 	if s.Checker != nil {
 		if err := s.Checker.Bind(check.Config{
 			TotalCores:        total,
@@ -400,6 +451,9 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 			HarvestPause:      agentCfg.HarvestPause,
 			QoSViolationFrac:  agentCfg.QoSViolationFrac,
 			LongTermSafeguard: agentCfg.LongTermSafeguard,
+			MaxRetries:        agentCfg.Resilience.MaxRetries,
+			RetryBackoff:      agentCfg.Resilience.RetryBackoff,
+			Probation:         agentCfg.Resilience.Probation,
 		}); err != nil {
 			return nil, err
 		}
@@ -411,6 +465,19 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	hvCfg.Mechanism = s.Mechanism
 	hvCfg.Seed = rng.Uint64()
 	hvCfg.Observer = s.Observer
+	// The injector (and its RNG stream) exists only when the plan injects
+	// something: a zero plan consumes no draws, keeping fault-free runs
+	// byte-identical to scenarios that never heard of fault injection.
+	var injector *faults.Injector
+	if s.Faults.Enabled() {
+		inj, err := faults.NewInjector(s.Faults, simrng.New(rng.Uint64()), loop.Now, s.Observer)
+		if err != nil {
+			return nil, err
+		}
+		injector = inj
+		hvCfg.Faults = injector
+		agentCfg.Faults = injector
+	}
 	machine, err := hypervisor.New(loop, hvCfg)
 	if err != nil {
 		return nil, err
@@ -462,7 +529,11 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	// allocation so it can follow churn; the agent starts at the initial
 	// allocation. (agentCfg and ctrl were resolved above, before the
 	// machine, so the checker could bind to them.)
-	agent, err := core.NewAgent(loop, machineHV{machine}, ctrl, agentCfg)
+	var hv core.Hypervisor = machineHV{machine}
+	if injector != nil {
+		hv = faultyHV{machineHV{machine}, injector}
+	}
+	agent, err := core.NewAgent(loop, hv, ctrl, agentCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -613,6 +684,18 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	res.Safeguards = agent.SafeguardInvocations()
 	res.QoSTrips = agent.QoSTrips()
 	res.Resizes = machine.Resizes()
+	if injector != nil {
+		res.FaultsInjected = injector.Total()
+	}
+	res.ResizeRetries = agent.ResizeRetries()
+	res.ResizeFailures = agent.ResizeFailures()
+	res.ResizesAborted = agent.ResizesAborted()
+	res.MissedPolls = agent.MissedPolls()
+	res.MissedWindows = agent.MissedWindows()
+	res.Stalls = agent.Stalls()
+	res.Crashes = agent.Crashes()
+	res.Degradations = agent.Degradations()
+	res.Degraded = agent.Degraded()
 	res.Grow = machine.GrowLatency().Summarize()
 	res.Shrink = machine.ShrinkLatency().Summarize()
 	res.GrowCDF = machine.GrowLatency().CDF()

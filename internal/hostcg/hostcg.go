@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"smartharvest/internal/core"
 	"smartharvest/internal/sim"
 )
 
@@ -176,7 +177,7 @@ func (b *Backend) Init() error {
 // TotalCores implements core.Hypervisor.
 func (b *Backend) TotalCores() int { return len(b.cfg.Cores) }
 
-// ResizeLatency implements core.Hypervisor.
+// ResizeLatency reports the configured per-resize cost.
 func (b *Backend) ResizeLatency() sim.Time { return b.cfg.ResizeLatency }
 
 // Resizes returns how many cpuset updates have been applied.
@@ -240,16 +241,16 @@ func (b *Backend) applyCpusets(n int) error {
 }
 
 // SetPrimaryCores implements core.Hypervisor.
-func (b *Backend) SetPrimaryCores(n int) bool {
+func (b *Backend) SetPrimaryCores(n int) (core.ResizeResult, error) {
 	if n == b.primary {
-		return false
+		return core.ResizeResult{}, nil
 	}
 	if err := b.applyCpusets(n); err != nil {
 		b.lastError = err
-		return false
+		return core.ResizeResult{}, err
 	}
 	b.resizes++
-	return true
+	return core.ResizeResult{Applied: true, Latency: b.cfg.ResizeLatency}, nil
 }
 
 // BusyPrimaryCores implements core.Hypervisor: it reads /proc/stat and

@@ -118,16 +118,16 @@ func TestSetPrimaryCoresWritesAndClamps(t *testing.T) {
 	if err := b.Init(); err != nil {
 		t.Fatal(err)
 	}
-	if !b.SetPrimaryCores(2) {
-		t.Fatal("resize reported no change")
+	if res, err := b.SetPrimaryCores(2); err != nil || !res.Applied {
+		t.Fatalf("resize: applied=%v err=%v", res.Applied, err)
 	}
 	if f.files["/cg/primary/cpuset.cpus"] != "0-1" ||
 		f.files["/cg/elastic/cpuset.cpus"] != "2-5" {
 		t.Fatalf("cpusets %v", f.files)
 	}
 	// Repeating the same value is a no-op.
-	if b.SetPrimaryCores(2) {
-		t.Fatal("no-op resize reported change")
+	if res, err := b.SetPrimaryCores(2); err != nil || res.Applied {
+		t.Fatalf("no-op resize: applied=%v err=%v", res.Applied, err)
 	}
 	// Clamp: primary can never take every core (elastic minimum 1) nor
 	// go below 1.
@@ -164,8 +164,8 @@ func TestSetPrimaryCoresWriteError(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.errOn["/cg/primary/cpuset.cpus"] = fmt.Errorf("EPERM")
-	if b.SetPrimaryCores(2) {
-		t.Fatal("failed resize reported success")
+	if res, err := b.SetPrimaryCores(2); err == nil || res.Applied {
+		t.Fatalf("failed resize: applied=%v err=%v", res.Applied, err)
 	}
 	if b.LastError() == nil {
 		t.Fatal("error not recorded")

@@ -123,6 +123,11 @@ type Config struct {
 	// Observer receives a Resize event for every primary-group resize
 	// issued through SetPrimaryCores. Nil disables observation.
 	Observer obs.Observer
+
+	// Faults, when non-nil, is consulted on every accepted non-no-op
+	// SetPrimaryCores request and may fail it transiently or add issue
+	// latency. Nil (the default) keeps hypercalls perfect.
+	Faults ResizeFaults
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

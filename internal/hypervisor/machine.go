@@ -1,6 +1,7 @@
 package hypervisor
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -437,20 +438,82 @@ func (m *Machine) ResizeLatency() sim.Time {
 	return sim.Time(m.cfg.CpuGroupsHypercalls) * m.cfg.HypercallLatency
 }
 
+// ResizeStatus classifies the outcome of a SetPrimaryCores request.
+type ResizeStatus int
+
+const (
+	// ResizeApplied: the request initiated core moves.
+	ResizeApplied ResizeStatus = iota
+	// ResizeNoop: the group already had the requested size.
+	ResizeNoop
+	// ResizeRejected: the request was invalid (outside [0, TotalCores])
+	// and nothing was changed.
+	ResizeRejected
+	// ResizeFailed: the hypercall transiently failed (fault injection);
+	// nothing was changed and the caller may retry.
+	ResizeFailed
+)
+
+func (s ResizeStatus) String() string {
+	switch s {
+	case ResizeApplied:
+		return "applied"
+	case ResizeNoop:
+		return "noop"
+	case ResizeRejected:
+		return "rejected"
+	case ResizeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("ResizeStatus(%d)", int(s))
+	}
+}
+
+// Sentinel errors a SetPrimaryCores caller can test with errors.Is.
+var (
+	ErrResizeRejected = errors.New("hypervisor: resize rejected: target outside [0, TotalCores]")
+	ErrResizeFailed   = errors.New("hypervisor: resize hypercall failed transiently")
+)
+
+// ResizeOutcome reports what one SetPrimaryCores request did. Latency is
+// the hypercall issue time the caller was blocked for (including any
+// injected spike); it is zero for no-ops and rejections, which never
+// reach the hypervisor.
+type ResizeOutcome struct {
+	Status  ResizeStatus
+	Latency sim.Time
+}
+
+// ResizeFaults lets a fault injector intercept resize hypercalls. A
+// non-nil implementation is consulted once per accepted non-no-op
+// request; it returns whether the hypercall fails outright and any extra
+// issue latency (a spike) to add either way. See internal/faults.
+type ResizeFaults interface {
+	ResizeFault() (fail bool, extra sim.Time)
+}
+
 // SetPrimaryCores requests that the primary group contain n physical cores
 // (and the elastic group the remainder). The request is applied with the
-// configured mechanism's latency. n is clamped to [0, TotalCores]. Returns
-// true if any change was initiated.
-func (m *Machine) SetPrimaryCores(n int) bool {
-	if n < 0 {
-		n = 0
-	}
-	if n > m.cfg.TotalCores {
-		n = m.cfg.TotalCores
+// configured mechanism's latency. A request outside [0, TotalCores] is
+// rejected without touching any core; a request for the current size is a
+// no-op. With fault injection configured, a request may also fail
+// transiently — the group state is then unchanged and the caller is
+// expected to retry.
+func (m *Machine) SetPrimaryCores(n int) (ResizeOutcome, error) {
+	if n < 0 || n > m.cfg.TotalCores {
+		return ResizeOutcome{Status: ResizeRejected}, ErrResizeRejected
 	}
 	delta := n - m.logical[PrimaryGroup]
 	if delta == 0 {
-		return false
+		return ResizeOutcome{Status: ResizeNoop}, nil
+	}
+	lat := m.ResizeLatency()
+	if f := m.cfg.Faults; f != nil {
+		fail, extra := f.ResizeFault()
+		lat += extra
+		if fail {
+			return ResizeOutcome{Status: ResizeFailed, Latency: lat}, ErrResizeFailed
+		}
 	}
 	m.resizes++
 	if o := m.cfg.Observer; o != nil {
@@ -459,7 +522,7 @@ func (m *Machine) SetPrimaryCores(n int) bool {
 			FromCores: m.logical[PrimaryGroup],
 			ToCores:   n,
 			Mechanism: m.cfg.Mechanism.String(),
-			Latency:   m.ResizeLatency(),
+			Latency:   lat,
 		})
 	}
 	from, to := ElasticGroup, PrimaryGroup
@@ -468,12 +531,13 @@ func (m *Machine) SetPrimaryCores(n int) bool {
 		from, to = PrimaryGroup, ElasticGroup
 		k = -delta
 	}
-	m.moveCores(from, to, k)
-	return true
+	m.moveCores(from, to, k, lat)
+	return ResizeOutcome{Status: ResizeApplied, Latency: lat}, nil
 }
 
-// moveCores initiates the move of k cores from one group to another.
-func (m *Machine) moveCores(from, to GroupID, k int) {
+// moveCores initiates the move of k cores from one group to another;
+// hypercalls complete issueLat from now.
+func (m *Machine) moveCores(from, to GroupID, k int, issueLat sim.Time) {
 	now := m.loop.Now()
 	// First, cancel opposite in-flight moves: cores physically in `to`
 	// that are pending a move into `from`. Undoing a not-yet-effective
@@ -491,7 +555,7 @@ func (m *Machine) moveCores(from, to GroupID, k int) {
 	if k == 0 {
 		return
 	}
-	issueDone := now + m.ResizeLatency()
+	issueDone := now + issueLat
 	// Prefer idle cores: they move without preempting work.
 	pick := func(wantIdle bool) {
 		for _, c := range m.cores {

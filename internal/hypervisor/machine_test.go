@@ -1,6 +1,7 @@
 package hypervisor
 
 import (
+	"errors"
 	"testing"
 
 	"smartharvest/internal/sim"
@@ -150,8 +151,8 @@ func TestResizeIdleCoresCpuGroups(t *testing.T) {
 	m.SetInitialSplit(8)
 	// All cores idle: moving 3 to elastic should take hypercalls (800us)
 	// plus at most one idle-rebalance period (5ms).
-	if !m.SetPrimaryCores(5) {
-		t.Fatal("resize reported no change")
+	if out, err := m.SetPrimaryCores(5); err != nil || out.Status != ResizeApplied {
+		t.Fatalf("resize outcome %v err %v", out.Status, err)
 	}
 	if m.LogicalGroupCores(PrimaryGroup) != 5 {
 		t.Fatalf("logical %d", m.LogicalGroupCores(PrimaryGroup))
@@ -359,26 +360,35 @@ func TestAvgCoresTimeWeighted(t *testing.T) {
 	}
 }
 
-func TestSetPrimaryCoresClamps(t *testing.T) {
+func TestSetPrimaryCoresRejectsOutOfRange(t *testing.T) {
 	loop, m := newTestMachine(t, 4, IPI)
 	m.SetInitialSplit(4)
-	m.SetPrimaryCores(-3)
-	if m.LogicalGroupCores(PrimaryGroup) != 0 {
-		t.Fatal("negative not clamped to 0")
+	out, err := m.SetPrimaryCores(-3)
+	if !errors.Is(err, ErrResizeRejected) || out.Status != ResizeRejected {
+		t.Fatalf("negative target: outcome %v err %v", out.Status, err)
 	}
-	m.SetPrimaryCores(99)
 	if m.LogicalGroupCores(PrimaryGroup) != 4 {
-		t.Fatal("overlarge not clamped to total")
+		t.Fatal("rejected resize moved cores")
+	}
+	out, err = m.SetPrimaryCores(99)
+	if !errors.Is(err, ErrResizeRejected) || out.Status != ResizeRejected {
+		t.Fatalf("overlarge target: outcome %v err %v", out.Status, err)
+	}
+	if m.LogicalGroupCores(PrimaryGroup) != 4 {
+		t.Fatal("rejected resize moved cores")
+	}
+	if m.Resizes() != 0 {
+		t.Fatal("rejected resize counted")
 	}
 	loop.RunUntil(sim.Second)
 	m.checkInvariants(t)
 }
 
-func TestResizeNoChangeReturnsFalse(t *testing.T) {
+func TestResizeNoChangeIsNoop(t *testing.T) {
 	_, m := newTestMachine(t, 4, CpuGroups)
 	m.SetInitialSplit(3)
-	if m.SetPrimaryCores(3) {
-		t.Fatal("no-op resize reported a change")
+	if out, err := m.SetPrimaryCores(3); err != nil || out.Status != ResizeNoop {
+		t.Fatalf("no-op resize outcome %v err %v", out.Status, err)
 	}
 	if m.Resizes() != 0 {
 		t.Fatal("no-op resize counted")

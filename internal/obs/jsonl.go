@@ -216,3 +216,42 @@ func (j *JSONL) OnBatchProgress(e BatchProgress) {
 	j.boolField("finished", e.Finished)
 	j.end()
 }
+
+func (j *JSONL) OnFaultInjected(e FaultInjected) {
+	if !j.begin(KindFaultInjected, int64(e.At)) {
+		return
+	}
+	j.strField("kind", e.Kind.String())
+	j.intField("dur", int64(e.Dur))
+	j.intField("delta", int64(e.Delta))
+	j.end()
+}
+
+func (j *JSONL) OnResizeRetry(e ResizeRetry) {
+	if !j.begin(KindResizeRetry, int64(e.At)) {
+		return
+	}
+	j.intField("target", int64(e.Target))
+	j.intField("attempt", int64(e.Attempt))
+	j.intField("backoff", int64(e.Backoff))
+	j.end()
+}
+
+func (j *JSONL) OnDegradedEnter(e DegradedEnter) {
+	if !j.begin(KindDegradedEnter, int64(e.At)) {
+		return
+	}
+	j.strField("reason", e.Reason.String())
+	j.intField("failures", int64(e.Failures))
+	j.intField("missed_polls", int64(e.MissedPolls))
+	j.end()
+}
+
+func (j *JSONL) OnDegradedExit(e DegradedExit) {
+	if !j.begin(KindDegradedExit, int64(e.At)) {
+		return
+	}
+	j.intField("clean_for", int64(e.CleanFor))
+	j.intField("dur", int64(e.Dur))
+	j.end()
+}

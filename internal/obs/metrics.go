@@ -29,7 +29,13 @@ type Metrics struct {
 	BatchFinished bool
 
 	// ClampCounts tallies WindowEnd clamp reasons by ClampReason value.
-	ClampCounts [4]uint64
+	ClampCounts [5]uint64
+
+	// Fault/degradation counters (zero on fault-free runs).
+	FaultsInjected uint64
+	ResizeRetries  uint64
+	Degradations   uint64 // degraded-enter events
+	DegradedExits  uint64
 
 	// Per-window statistics.
 	WindowPeak   metrics.Welford // observed peak busy cores per window
@@ -82,16 +88,26 @@ func (m *Metrics) OnBatchProgress(e BatchProgress) {
 	}
 }
 
+func (m *Metrics) OnFaultInjected(FaultInjected) { m.FaultsInjected++ }
+func (m *Metrics) OnResizeRetry(ResizeRetry)     { m.ResizeRetries++ }
+func (m *Metrics) OnDegradedEnter(DegradedEnter) { m.Degradations++ }
+func (m *Metrics) OnDegradedExit(DegradedExit)   { m.DegradedExits++ }
+
 // String renders a one-run summary.
 func (m *Metrics) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "polls=%d windows=%d safeguards=%d qos-trips=%d resizes=%d (grow %d / shrink %d)",
 		m.Polls, m.Windows, m.Safeguards, m.QoSTrips, m.Resizes, m.Grows, m.Shrinks)
 	if m.Windows > 0 {
-		fmt.Fprintf(&b, "\navg window peak=%.2f avg target=%.2f clamp: none=%d paused=%d busy-floor=%d alloc-cap=%d",
+		fmt.Fprintf(&b, "\navg window peak=%.2f avg target=%.2f clamp: none=%d paused=%d busy-floor=%d alloc-cap=%d degraded=%d",
 			m.WindowPeak.Mean(), m.WindowTarget.Mean(),
 			m.ClampCounts[ClampNone], m.ClampCounts[ClampPaused],
-			m.ClampCounts[ClampBusyFloor], m.ClampCounts[ClampAllocCap])
+			m.ClampCounts[ClampBusyFloor], m.ClampCounts[ClampAllocCap],
+			m.ClampCounts[ClampDegraded])
+	}
+	if m.FaultsInjected > 0 || m.Degradations > 0 {
+		fmt.Fprintf(&b, "\nfaults injected=%d resize retries=%d degradations=%d (exited %d)",
+			m.FaultsInjected, m.ResizeRetries, m.Degradations, m.DegradedExits)
 	}
 	if m.Churns > 0 {
 		fmt.Fprintf(&b, "\nchurn events applied=%d", m.Churns)

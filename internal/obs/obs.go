@@ -46,9 +46,13 @@ const (
 	// ClampAllocCap: the prediction exceeded the primary allocation and
 	// was capped.
 	ClampAllocCap
+	// ClampDegraded: the resilience policy has degraded the agent to
+	// NoHarvest behaviour, so the target is pinned to the full primary
+	// allocation until probation clears.
+	ClampDegraded
 )
 
-var clampNames = [...]string{"none", "paused", "busy-floor", "alloc-cap"}
+var clampNames = [...]string{"none", "paused", "busy-floor", "alloc-cap", "degraded"}
 
 func (c ClampReason) String() string {
 	if int(c) < len(clampNames) {
@@ -140,6 +144,106 @@ type BatchProgress struct {
 	Finished bool
 }
 
+// FaultKind identifies the injected fault class carried by a
+// FaultInjected event (see internal/faults for the injector).
+type FaultKind uint8
+
+const (
+	// FaultHypercallFail: a SetPrimaryCores hypercall transiently failed.
+	FaultHypercallFail FaultKind = iota
+	// FaultHypercallDelay: a hypercall succeeded but with a latency spike.
+	FaultHypercallDelay
+	// FaultPollDrop: a busy-core poll returned no reading.
+	FaultPollDrop
+	// FaultPollStale: a busy-core poll returned the previous reading.
+	FaultPollStale
+	// FaultPollNoise: a busy-core poll returned a perturbed reading.
+	FaultPollNoise
+	// FaultAgentStall: the agent stalled, missing whole learning windows.
+	FaultAgentStall
+	// FaultAgentCrash: the agent crashed and restarted, rebuilding its
+	// state from a checkpoint (or from scratch).
+	FaultAgentCrash
+)
+
+var faultNames = [...]string{
+	"hypercall-fail", "hypercall-delay", "poll-drop", "poll-stale",
+	"poll-noise", "agent-stall", "agent-crash",
+}
+
+func (k FaultKind) String() string {
+	if int(k) < len(faultNames) {
+		return faultNames[k]
+	}
+	return "unknown"
+}
+
+// DegradeReason explains what drove the agent into degraded mode.
+type DegradeReason uint8
+
+const (
+	// DegradeResizeFailures: K consecutive resize attempts exhausted
+	// their retries.
+	DegradeResizeFailures DegradeReason = iota
+	// DegradeMissedPolls: M busy-core polls were lost within one
+	// learning window.
+	DegradeMissedPolls
+)
+
+var degradeNames = [...]string{"resize-failures", "missed-polls"}
+
+func (r DegradeReason) String() string {
+	if int(r) < len(degradeNames) {
+		return degradeNames[r]
+	}
+	return "unknown"
+}
+
+// FaultInjected fires for every fault the injector delivers.
+type FaultInjected struct {
+	At   sim.Time
+	Kind FaultKind
+	// Dur is the induced delay for latency-spike/stall/restart faults;
+	// zero for instantaneous faults.
+	Dur sim.Time
+	// Delta is the signal perturbation for poll-noise faults (+/- cores);
+	// zero otherwise.
+	Delta int
+}
+
+// ResizeRetry fires when the agent re-issues a failed resize after a
+// backoff.
+type ResizeRetry struct {
+	At     sim.Time
+	Target int // primary-core target being retried
+	// Attempt is the 1-based retry number (1 = first re-issue).
+	Attempt int
+	// Backoff is the delay applied before this retry.
+	Backoff sim.Time
+}
+
+// DegradedEnter fires when the resilience policy gives up on harvesting
+// and pins the target to the full primary allocation.
+type DegradedEnter struct {
+	At     sim.Time
+	Reason DegradeReason
+	// Failures is the consecutive exhausted-resize count at entry.
+	Failures int
+	// MissedPolls is the lost-poll count in the current window at entry.
+	MissedPolls int
+}
+
+// DegradedExit fires when a clean probation period has elapsed and the
+// agent re-enters harvesting.
+type DegradedExit struct {
+	At sim.Time
+	// CleanFor is how long the run stayed fault-free before re-entry
+	// (>= the configured probation).
+	CleanFor sim.Time
+	// Dur is the total time spent degraded.
+	Dur sim.Time
+}
+
 // Observer receives the event stream. All methods are invoked
 // synchronously on the simulation goroutine; implementations must not
 // retain argument memory beyond the call (events are passed by value, so
@@ -155,6 +259,10 @@ type Observer interface {
 	OnResize(Resize)
 	OnChurnApplied(ChurnApplied)
 	OnBatchProgress(BatchProgress)
+	OnFaultInjected(FaultInjected)
+	OnResizeRetry(ResizeRetry)
+	OnDegradedEnter(DegradedEnter)
+	OnDegradedExit(DegradedExit)
 }
 
 // NopObserver implements Observer with no-ops; embed it to build partial
@@ -169,6 +277,10 @@ func (NopObserver) OnQoSResume(QoSResume)         {}
 func (NopObserver) OnResize(Resize)               {}
 func (NopObserver) OnChurnApplied(ChurnApplied)   {}
 func (NopObserver) OnBatchProgress(BatchProgress) {}
+func (NopObserver) OnFaultInjected(FaultInjected) {}
+func (NopObserver) OnResizeRetry(ResizeRetry)     {}
+func (NopObserver) OnDegradedEnter(DegradedEnter) {}
+func (NopObserver) OnDegradedExit(DegradedExit)   {}
 
 // multi fans events out to several observers in order.
 type multi struct{ obs []Observer }
@@ -230,5 +342,25 @@ func (m *multi) OnChurnApplied(e ChurnApplied) {
 func (m *multi) OnBatchProgress(e BatchProgress) {
 	for _, o := range m.obs {
 		o.OnBatchProgress(e)
+	}
+}
+func (m *multi) OnFaultInjected(e FaultInjected) {
+	for _, o := range m.obs {
+		o.OnFaultInjected(e)
+	}
+}
+func (m *multi) OnResizeRetry(e ResizeRetry) {
+	for _, o := range m.obs {
+		o.OnResizeRetry(e)
+	}
+}
+func (m *multi) OnDegradedEnter(e DegradedEnter) {
+	for _, o := range m.obs {
+		o.OnDegradedEnter(e)
+	}
+}
+func (m *multi) OnDegradedExit(e DegradedExit) {
+	for _, o := range m.obs {
+		o.OnDegradedExit(e)
 	}
 }

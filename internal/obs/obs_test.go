@@ -28,7 +28,15 @@ func feedAll(o Observer) int {
 		Departed: -1, LivePrimaries: 2, PrimaryAlloc: 20})
 	o.OnBatchProgress(BatchProgress{At: 4 * sim.Second, Job: "terasort",
 		Phase: 6, Phases: 6, Finished: true})
-	return 8
+	o.OnFaultInjected(FaultInjected{At: 5 * sim.Second, Kind: FaultHypercallFail,
+		Dur: 2 * sim.Millisecond, Delta: 0})
+	o.OnResizeRetry(ResizeRetry{At: 5*sim.Second + sim.Millisecond, Target: 4,
+		Attempt: 2, Backoff: 2 * sim.Millisecond})
+	o.OnDegradedEnter(DegradedEnter{At: 6 * sim.Second, Reason: DegradeResizeFailures,
+		Failures: 3, MissedPolls: 0})
+	o.OnDegradedExit(DegradedExit{At: 8 * sim.Second, CleanFor: sim.Second,
+		Dur: 2 * sim.Second})
+	return 12
 }
 
 func TestRingKeepsMostRecent(t *testing.T) {
@@ -98,6 +106,10 @@ func TestJSONLSchema(t *testing.T) {
 		`{"v":1,"ev":"resize","t":2000000000,"from":10,"to":4,"mech":"cpugroups","latency":800000}`,
 		`{"v":1,"ev":"churn","t":3000000000,"arrived":"memcached","departed":-1,"live":2,"alloc":20}`,
 		`{"v":1,"ev":"batch","t":4000000000,"job":"terasort","phase":6,"phases":6,"finished":true}`,
+		`{"v":1,"ev":"fault","t":5000000000,"kind":"hypercall-fail","dur":2000000,"delta":0}`,
+		`{"v":1,"ev":"retry","t":5001000000,"target":4,"attempt":2,"backoff":2000000}`,
+		`{"v":1,"ev":"degraded-enter","t":6000000000,"reason":"resize-failures","failures":3,"missed_polls":0}`,
+		`{"v":1,"ev":"degraded-exit","t":8000000000,"clean_for":1000000000,"dur":2000000000}`,
 	}, "\n") + "\n"
 	if got := buf.String(); got != want {
 		t.Errorf("trace lines changed (schema drift — bump SchemaVersion):\ngot:\n%swant:\n%s", got, want)
@@ -114,8 +126,8 @@ func TestJSONLOmitPolls(t *testing.T) {
 	if strings.Contains(buf.String(), `"ev":"poll"`) {
 		t.Error("poll line present despite JSONLOmitPolls")
 	}
-	if n := strings.Count(buf.String(), "\n"); n != 7 {
-		t.Errorf("got %d lines, want 7", n)
+	if n := strings.Count(buf.String(), "\n"); n != 11 {
+		t.Errorf("got %d lines, want 11", n)
 	}
 }
 

@@ -12,13 +12,18 @@ const (
 	KindResize
 	KindChurnApplied
 	KindBatchProgress
+	KindFaultInjected
+	KindResizeRetry
+	KindDegradedEnter
+	KindDegradedExit
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"poll", "window", "safeguard", "qos-trip", "qos-resume",
-	"resize", "churn", "batch",
+	"resize", "churn", "batch", "fault", "retry",
+	"degraded-enter", "degraded-exit",
 }
 
 func (k Kind) String() string {
@@ -41,6 +46,10 @@ type Record struct {
 	Resize        Resize
 	ChurnApplied  ChurnApplied
 	BatchProgress BatchProgress
+	FaultInjected FaultInjected
+	ResizeRetry   ResizeRetry
+	DegradedEnter DegradedEnter
+	DegradedExit  DegradedExit
 }
 
 // Ring is the in-memory flight-recorder sink: it keeps the most recent
@@ -124,3 +133,7 @@ func (r *Ring) OnQoSResume(e QoSResume)         { r.add(KindQoSResume).QoSResume
 func (r *Ring) OnResize(e Resize)               { r.add(KindResize).Resize = e }
 func (r *Ring) OnChurnApplied(e ChurnApplied)   { r.add(KindChurnApplied).ChurnApplied = e }
 func (r *Ring) OnBatchProgress(e BatchProgress) { r.add(KindBatchProgress).BatchProgress = e }
+func (r *Ring) OnFaultInjected(e FaultInjected) { r.add(KindFaultInjected).FaultInjected = e }
+func (r *Ring) OnResizeRetry(e ResizeRetry)     { r.add(KindResizeRetry).ResizeRetry = e }
+func (r *Ring) OnDegradedEnter(e DegradedEnter) { r.add(KindDegradedEnter).DegradedEnter = e }
+func (r *Ring) OnDegradedExit(e DegradedExit)   { r.add(KindDegradedExit).DegradedExit = e }

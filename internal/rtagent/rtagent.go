@@ -279,9 +279,9 @@ func (a *Agent) apply(target int) {
 	a.mu.Lock()
 	a.target = target
 	a.mu.Unlock()
-	if a.hv.SetPrimaryCores(target) {
+	if res, err := a.hv.SetPrimaryCores(target); err == nil && res.Applied {
 		a.bump(func(st *Stats) { st.Resizes++ })
-		a.cfg.Clock.Sleep(a.hv.ResizeLatency().ToDuration() + a.cfg.PostResizeSleep)
+		a.cfg.Clock.Sleep(res.Latency.ToDuration() + a.cfg.PostResizeSleep)
 	}
 }
 
@@ -313,7 +313,7 @@ func (a *Agent) qosCheck(now time.Time) {
 		a.mu.Lock()
 		a.target = a.cfg.PrimaryAlloc
 		a.mu.Unlock()
-		if a.hv.SetPrimaryCores(a.target) {
+		if res, err := a.hv.SetPrimaryCores(a.target); err == nil && res.Applied {
 			a.bump(func(st *Stats) { st.Resizes++ })
 		}
 	}

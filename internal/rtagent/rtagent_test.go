@@ -48,15 +48,14 @@ func (f *fakeHost) BusyPrimaryCores() int {
 	}
 	return b
 }
-func (f *fakeHost) SetPrimaryCores(n int) bool {
+func (f *fakeHost) SetPrimaryCores(n int) (core.ResizeResult, error) {
 	if n == f.primary {
-		return false
+		return core.ResizeResult{}, nil
 	}
 	f.primary = n
 	f.resizeLog = append(f.resizeLog, n)
-	return true
+	return core.ResizeResult{Applied: true, Latency: 200 * sim.Microsecond}, nil
 }
-func (f *fakeHost) ResizeLatency() sim.Time { return 200 * sim.Microsecond }
 func (f *fakeHost) DrainPrimaryWaits() []int64 {
 	w := f.waits
 	f.waits = nil

@@ -39,6 +39,7 @@ import (
 	"smartharvest/internal/apps"
 	"smartharvest/internal/check"
 	"smartharvest/internal/core"
+	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/hypervisor"
 	"smartharvest/internal/obs"
@@ -286,6 +287,14 @@ type (
 	BatchProgress = obs.BatchProgress
 	// WindowFeatures are the per-window busy-sample statistics.
 	WindowFeatures = obs.Features
+	// FaultInjected fires when the fault-injection layer perturbs the run.
+	FaultInjected = obs.FaultInjected
+	// ResizeRetry fires when the agent re-attempts a failed hypercall.
+	ResizeRetry = obs.ResizeRetry
+	// DegradedEnter fires when the agent falls back to NoHarvest.
+	DegradedEnter = obs.DegradedEnter
+	// DegradedExit fires when a clean probation ends degraded mode.
+	DegradedExit = obs.DegradedExit
 )
 
 // ClampReason explains why a window's applied target differs from the
@@ -298,7 +307,31 @@ const (
 	ClampPaused    = obs.ClampPaused
 	ClampBusyFloor = obs.ClampBusyFloor
 	ClampAllocCap  = obs.ClampAllocCap
+	ClampDegraded  = obs.ClampDegraded
 )
+
+// Fault injection and resilience — the deterministic chaos layer (see
+// internal/faults). A FaultPlan on Scenario.Faults perturbs the resize
+// hypercall, the busy-core signal, and the agent itself, all driven by
+// the scenario seed; the agent responds with bounded retries and, past
+// the ResiliencePolicy thresholds, graceful degradation to NoHarvest.
+
+// FaultPlan parameterizes fault injection for a run (Scenario.Faults).
+// The zero value injects nothing and leaves the run byte-identical to a
+// fault-free one.
+type FaultPlan = faults.Plan
+
+// ParseFaultPlan parses the -faults CLI syntax: comma-separated
+// key=value pairs, e.g. "hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms".
+func ParseFaultPlan(s string) (FaultPlan, error) { return faults.ParsePlan(s) }
+
+// ResiliencePolicy tunes the agent's fault response: retry budget and
+// backoff, degradation thresholds, and the probation for re-entry
+// (Scenario.Resilience).
+type ResiliencePolicy = core.ResiliencePolicy
+
+// DefaultResilience returns the default fault-response policy.
+func DefaultResilience() ResiliencePolicy { return core.DefaultResilience() }
 
 // TraceSchemaVersion is the "v" field every JSONL trace line carries.
 const TraceSchemaVersion = obs.SchemaVersion
