@@ -77,6 +77,7 @@ func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
 
 func BenchmarkChurn(b *testing.B)      { benchExperiment(b, "churn") }
 func BenchmarkFleet(b *testing.B)      { benchExperiment(b, "fleet") }
+func BenchmarkSched(b *testing.B)      { benchExperiment(b, "sched") }
 func BenchmarkGuardSweep(b *testing.B) { benchExperiment(b, "guard-sweep") }
 func BenchmarkMemHarvest(b *testing.B) { benchExperiment(b, "memharvest") }
 

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"smartharvest/internal/experiments"
+	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/sim"
 )
@@ -67,6 +68,7 @@ func main() {
 	outDir := flag.String("out", "", "directory to also write per-experiment reports to")
 	traceDir := flag.String("trace", "", "directory to write per-scenario JSONL event traces to")
 	checkRuns := flag.Bool("check", false, "verify safety invariants on every scenario run (fails the experiment on violation)")
+	faultsPlan := flag.String("faults", "", "fault plan for the sched experiment's fleet (key=value pairs, e.g. 'drop=0.01,stall=0.001')")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -87,6 +89,14 @@ func main() {
 	}
 	if *quick {
 		cfg.Duration = 6 * sim.Second
+	}
+	if *faultsPlan != "" {
+		plan, err := faults.ParsePlan(*faultsPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {

@@ -111,7 +111,9 @@ func main() {
 	var primaries primaryList
 	flag.Var(&primaries, "primary", "primary workload as name[:qps]; repeatable (default memcached:40000)")
 	policy := flag.String("policy", "smartharvest", "harvesting policy: smartharvest, fixedbuffer[:k], prevpeak[:n], ewma, noharvest")
-	batch := flag.String("batch", "cpubully", "ElasticVM workload: cpubully, hdinsight, terasort, none")
+	batch := flag.String("batch", "cpubully", "ElasticVM workload: cpubully, hdinsight, terasort, finite, none")
+	batchWork := flag.Duration("batch-work", 8*time.Second, "finite batch allotment in core-time (-batch finite)")
+	batchWidth := flag.Int("batch-width", 0, "finite batch parallelism cap in cores, 0 = all (-batch finite)")
 	mechanism := flag.String("mechanism", "cpugroups", "core reassignment mechanism: cpugroups or ipis")
 	duration := flag.Duration("duration", 30*time.Second, "measured simulated time")
 	warmup := flag.Duration("warmup", 2*time.Second, "simulated warmup")
@@ -160,6 +162,8 @@ func main() {
 		Name:              "cli",
 		Primaries:         specs,
 		Batch:             batchKind,
+		BatchWork:         sim.Duration(*batchWork),
+		BatchWidth:        *batchWidth,
 		Mechanism:         mech,
 		Controller:        ctrl,
 		Duration:          sim.Duration(*duration),
@@ -222,6 +226,10 @@ func main() {
 		res.AvgHarvestedCores, res.AvgElasticCores, res.ElasticCPUSeconds)
 	if res.BatchFinished {
 		fmt.Printf("batch finished at %v\n", res.BatchTime)
+	}
+	if batchKind == smartharvest.BatchFinite {
+		fmt.Printf("finite batch progress: %v of %v core-time\n",
+			res.BatchProgress, sim.Duration(*batchWork))
 	}
 	fmt.Printf("agent: %d windows, %d resizes, %d short-term safeguards, %d QoS trips\n",
 		res.Windows, res.Resizes, res.Safeguards, res.QoSTrips)

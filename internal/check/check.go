@@ -254,6 +254,18 @@ func recordAt(r obs.Record) sim.Time {
 		return r.DegradedEnter.At
 	case obs.KindDegradedExit:
 		return r.DegradedExit.At
+	case obs.KindJobSubmit:
+		return r.JobSubmit.At
+	case obs.KindJobStart:
+		return r.JobStart.At
+	case obs.KindJobEvict:
+		return r.JobEvict.At
+	case obs.KindJobRequeue:
+		return r.JobRequeue.At
+	case obs.KindJobComplete:
+		return r.JobComplete.At
+	case obs.KindJobSLOMiss:
+		return r.JobSLOMiss.At
 	}
 	return 0
 }
@@ -847,6 +859,46 @@ func (c *Checker) OnDegradedExit(e obs.DegradedExit) {
 		}
 	}
 	c.degraded = false
+}
+
+// The job events carry fleet-scheduler state that a per-machine Checker
+// has no model for; JobChecker (jobs.go) owns those invariants. Here
+// they only feed the flight recorder and the shared time/usage checks.
+
+// OnJobSubmit implements obs.Observer.
+func (c *Checker) OnJobSubmit(e obs.JobSubmit) {
+	c.ring.OnJobSubmit(e)
+	c.enter(obs.Record{Kind: obs.KindJobSubmit, JobSubmit: e}, e.At)
+}
+
+// OnJobStart implements obs.Observer.
+func (c *Checker) OnJobStart(e obs.JobStart) {
+	c.ring.OnJobStart(e)
+	c.enter(obs.Record{Kind: obs.KindJobStart, JobStart: e}, e.At)
+}
+
+// OnJobEvict implements obs.Observer.
+func (c *Checker) OnJobEvict(e obs.JobEvict) {
+	c.ring.OnJobEvict(e)
+	c.enter(obs.Record{Kind: obs.KindJobEvict, JobEvict: e}, e.At)
+}
+
+// OnJobRequeue implements obs.Observer.
+func (c *Checker) OnJobRequeue(e obs.JobRequeue) {
+	c.ring.OnJobRequeue(e)
+	c.enter(obs.Record{Kind: obs.KindJobRequeue, JobRequeue: e}, e.At)
+}
+
+// OnJobComplete implements obs.Observer.
+func (c *Checker) OnJobComplete(e obs.JobComplete) {
+	c.ring.OnJobComplete(e)
+	c.enter(obs.Record{Kind: obs.KindJobComplete, JobComplete: e}, e.At)
+}
+
+// OnJobSLOMiss implements obs.Observer.
+func (c *Checker) OnJobSLOMiss(e obs.JobSLOMiss) {
+	c.ring.OnJobSLOMiss(e)
+	c.enter(obs.Record{Kind: obs.KindJobSLOMiss, JobSLOMiss: e}, e.At)
 }
 
 func abs(x int) int {

@@ -1,0 +1,472 @@
+package check
+
+import (
+	"fmt"
+
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sim"
+)
+
+// Fleet-scheduler invariant identifiers (see internal/sched for the
+// subsystem these verify).
+const (
+	// InvJobLifecycle: job events follow the legal state machine —
+	// submit once, start only from the queue, evict/complete only while
+	// running, complete at most once.
+	InvJobLifecycle = "job-lifecycle"
+	// InvJobProgress: checkpointed progress is monotone, never exceeds
+	// the job's work, and every start/requeue reports the remainder as
+	// exactly work minus checkpointed progress — evicted work is never
+	// double-counted.
+	InvJobProgress = "job-progress"
+	// InvJobCapacity: a placement's grant fits the job's width and the
+	// server's harvested cores net of what other jobs already hold — no
+	// job runs on more cores than the elastic group has to spare.
+	InvJobCapacity = "job-capacity"
+	// InvJobRequeue: the requeue count is bounded — an eviction past the
+	// budget is marked final and the job is never requeued after it.
+	InvJobRequeue = "job-requeue"
+	// InvJobSLO: SLO misses are reported truthfully — only for
+	// deadline-bearing jobs, after the deadline, with the lateness exact.
+	InvJobSLO = "job-slo"
+)
+
+// JobConfig binds a JobChecker to the facts of one scheduler run.
+type JobConfig struct {
+	// MaxRequeues is the scheduler's requeue budget per job; an eviction
+	// beyond it must be final. Zero skips the bound checks.
+	MaxRequeues int
+	// Servers is the fleet size; placements must name a server in range.
+	Servers int
+}
+
+// Job lifecycle states tracked by the JobChecker.
+type jobPhase uint8
+
+const (
+	jobQueued jobPhase = iota
+	jobRunning
+	jobEvicted // preempted, awaiting requeue
+	jobDone
+	jobAbandoned
+)
+
+var jobPhaseNames = [...]string{"queued", "running", "evicted", "done", "abandoned"}
+
+func (p jobPhase) String() string {
+	if int(p) < len(jobPhaseNames) {
+		return jobPhaseNames[p]
+	}
+	return "unknown"
+}
+
+// jobState is one job's tracked lifecycle.
+type jobState struct {
+	work      sim.Time
+	width     int
+	deadline  sim.Time
+	submitAt  sim.Time
+	phase     jobPhase
+	progress  sim.Time
+	evictions int
+	server    int
+	grant     int
+	sloMissed bool
+}
+
+// JobChecker validates a fleet-scheduler event stream (the job-* events)
+// against the scheduler's safety contract: lifecycle legality, monotone
+// never-double-counted progress, capacity-respecting placements, and a
+// bounded requeue count. It is an obs.Observer — attach it alongside (or
+// instead of) the per-machine Checker; non-job events only feed its
+// flight recorder and the shared time checks. One JobChecker verifies
+// one run.
+type JobChecker struct {
+	cfg   JobConfig
+	bound bool
+
+	ring *obs.Ring
+
+	events   uint64
+	lastAt   sim.Time
+	seenTime bool
+
+	jobs      map[string]*jobState
+	committed []int // per-server cores granted to running jobs
+
+	report   Report
+	finished bool
+}
+
+// NewJobChecker returns an unbound JobChecker; call Bind before events
+// arrive (sched.Run binds it automatically).
+func NewJobChecker() *JobChecker {
+	return &JobChecker{ring: obs.NewRing(ContextSize), jobs: make(map[string]*jobState)}
+}
+
+// Bind attaches the run's configuration. It must be called exactly once,
+// before any event.
+func (c *JobChecker) Bind(cfg JobConfig) error {
+	if c.bound {
+		return fmt.Errorf("check: JobChecker already bound (one JobChecker verifies one run)")
+	}
+	if cfg.MaxRequeues < 0 || cfg.Servers < 0 {
+		return fmt.Errorf("check: negative MaxRequeues or Servers")
+	}
+	c.cfg = cfg
+	if cfg.Servers > 0 {
+		c.committed = make([]int, cfg.Servers)
+	}
+	c.bound = true
+	return nil
+}
+
+// Finish returns the report; calling it again returns the same report.
+func (c *JobChecker) Finish() *Report {
+	c.finished = true
+	return &c.report
+}
+
+// Report returns the accumulated report.
+func (c *JobChecker) Report() *Report { return c.Finish() }
+
+func (c *JobChecker) violate(invariant string, at sim.Time, ev obs.Record, detail string) {
+	if len(c.report.Violations) == 0 {
+		c.report.Context = c.ring.Records()
+	}
+	if len(c.report.Violations) >= maxViolations {
+		c.report.Dropped++
+		return
+	}
+	c.report.Violations = append(c.report.Violations, Violation{
+		Invariant: invariant, At: at, Event: ev, Detail: detail,
+	})
+}
+
+func (c *JobChecker) violatef(invariant string, at sim.Time, ev obs.Record, format string, args ...any) {
+	c.violate(invariant, at, ev, fmt.Sprintf(format, args...))
+}
+
+// enter runs the shared per-event checks: usage and time monotonicity.
+func (c *JobChecker) enter(rec obs.Record, at sim.Time) {
+	c.events++
+	c.report.Events = c.events
+	if !c.bound {
+		if c.events == 1 {
+			c.violate(InvUsage, at, rec, "event observed before Bind; checks are unreliable")
+		}
+		return
+	}
+	if c.seenTime && at < c.lastAt {
+		c.violatef(InvTimeMonotonic, at, rec,
+			"event time %v precedes previous event time %v", at, c.lastAt)
+	}
+	if at > c.lastAt {
+		c.lastAt = at
+	}
+	c.seenTime = true
+}
+
+// serverOK validates a placement's server index and returns whether the
+// committed-core account can be consulted.
+func (c *JobChecker) serverOK(server int, at sim.Time, rec obs.Record) bool {
+	if c.cfg.Servers > 0 && (server < 0 || server >= c.cfg.Servers) {
+		c.violatef(InvJobCapacity, at, rec, "server %d outside [0, %d)", server, c.cfg.Servers)
+		return false
+	}
+	return c.committed != nil && server >= 0 && server < len(c.committed)
+}
+
+// OnJobSubmit implements obs.Observer.
+func (c *JobChecker) OnJobSubmit(e obs.JobSubmit) {
+	c.ring.OnJobSubmit(e)
+	rec := obs.Record{Kind: obs.KindJobSubmit, JobSubmit: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if _, dup := c.jobs[e.Job]; dup {
+		c.violatef(InvJobLifecycle, e.At, rec, "job %q submitted twice", e.Job)
+		return
+	}
+	if e.Work <= 0 || e.Width < 1 {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"job %q with work %v and width %d", e.Job, e.Work, e.Width)
+	}
+	if e.Deadline != 0 && e.Deadline < e.At {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"job %q submitted at %v with deadline %v already past", e.Job, e.At, e.Deadline)
+	}
+	c.jobs[e.Job] = &jobState{
+		work: e.Work, width: e.Width, deadline: e.Deadline,
+		submitAt: e.At, phase: jobQueued, server: -1,
+	}
+}
+
+// OnJobStart implements obs.Observer.
+func (c *JobChecker) OnJobStart(e obs.JobStart) {
+	c.ring.OnJobStart(e)
+	rec := obs.Record{Kind: obs.KindJobStart, JobStart: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	j, ok := c.jobs[e.Job]
+	if !ok {
+		c.violatef(InvJobLifecycle, e.At, rec, "start of unsubmitted job %q", e.Job)
+		return
+	}
+	if j.phase != jobQueued {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"start of job %q while %s, want queued", e.Job, j.phase)
+	}
+	if e.Grant < 1 || e.Grant > j.width {
+		c.violatef(InvJobCapacity, e.At, rec,
+			"job %q granted %d cores outside [1, width %d]", e.Job, e.Grant, j.width)
+	}
+	if ok := c.serverOK(e.Server, e.At, rec); ok {
+		if free := e.Harvest - c.committed[e.Server]; e.Grant > free {
+			c.violatef(InvJobCapacity, e.At, rec,
+				"job %q granted %d cores on server %d with only %d harvested free (%d harvested, %d committed)",
+				e.Job, e.Grant, e.Server, free, e.Harvest, c.committed[e.Server])
+		}
+		c.committed[e.Server] += e.Grant
+	}
+	if e.Attempt != j.evictions+1 {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"job %q starting attempt %d after %d evictions, want %d",
+			e.Job, e.Attempt, j.evictions, j.evictions+1)
+	}
+	if want := j.work - j.progress; e.Remaining != want {
+		c.violatef(InvJobProgress, e.At, rec,
+			"job %q starts with remaining %v, checkpointed progress %v of %v leaves %v",
+			e.Job, e.Remaining, j.progress, j.work, want)
+	}
+	j.phase = jobRunning
+	j.server = e.Server
+	j.grant = e.Grant
+}
+
+// release returns a job's granted cores to its server's account.
+func (c *JobChecker) release(j *jobState) {
+	if c.committed != nil && j.server >= 0 && j.server < len(c.committed) {
+		c.committed[j.server] -= j.grant
+		if c.committed[j.server] < 0 {
+			c.committed[j.server] = 0
+		}
+	}
+	j.grant = 0
+}
+
+// OnJobEvict implements obs.Observer.
+func (c *JobChecker) OnJobEvict(e obs.JobEvict) {
+	c.ring.OnJobEvict(e)
+	rec := obs.Record{Kind: obs.KindJobEvict, JobEvict: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	j, ok := c.jobs[e.Job]
+	if !ok {
+		c.violatef(InvJobLifecycle, e.At, rec, "eviction of unsubmitted job %q", e.Job)
+		return
+	}
+	if j.phase != jobRunning {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"eviction of job %q while %s, want running", e.Job, j.phase)
+	} else if e.Server != j.server {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"job %q evicted from server %d but runs on %d", e.Job, e.Server, j.server)
+	}
+	// Progress is a cumulative checkpoint: it may only grow, and never
+	// past the job's total work (either way work would be double-counted
+	// on the next placement or in goodput).
+	if e.Progress < j.progress {
+		c.violatef(InvJobProgress, e.At, rec,
+			"job %q checkpoint regressed from %v to %v", e.Job, j.progress, e.Progress)
+	}
+	if e.Progress > j.work {
+		c.violatef(InvJobProgress, e.At, rec,
+			"job %q checkpoint %v exceeds its total work %v", e.Job, e.Progress, j.work)
+	}
+	if e.Evictions != j.evictions+1 {
+		c.violatef(InvJobRequeue, e.At, rec,
+			"job %q eviction count %d, want %d", e.Job, e.Evictions, j.evictions+1)
+	}
+	if c.cfg.MaxRequeues > 0 {
+		if wantFinal := e.Evictions > c.cfg.MaxRequeues; e.Final != wantFinal {
+			c.violatef(InvJobRequeue, e.At, rec,
+				"job %q eviction %d of budget %d marked final=%t, want %t",
+				e.Job, e.Evictions, c.cfg.MaxRequeues, e.Final, wantFinal)
+		}
+	}
+	c.release(j)
+	j.progress = e.Progress
+	j.evictions = e.Evictions
+	if e.Final {
+		j.phase = jobAbandoned
+	} else {
+		j.phase = jobEvicted
+	}
+}
+
+// OnJobRequeue implements obs.Observer.
+func (c *JobChecker) OnJobRequeue(e obs.JobRequeue) {
+	c.ring.OnJobRequeue(e)
+	rec := obs.Record{Kind: obs.KindJobRequeue, JobRequeue: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	j, ok := c.jobs[e.Job]
+	if !ok {
+		c.violatef(InvJobLifecycle, e.At, rec, "requeue of unsubmitted job %q", e.Job)
+		return
+	}
+	if j.phase == jobAbandoned {
+		c.violatef(InvJobRequeue, e.At, rec,
+			"job %q requeued after a final eviction", e.Job)
+	} else if j.phase != jobEvicted {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"requeue of job %q while %s, want evicted", e.Job, j.phase)
+	}
+	if e.Evictions != j.evictions {
+		c.violatef(InvJobRequeue, e.At, rec,
+			"job %q requeued with eviction count %d, want %d", e.Job, e.Evictions, j.evictions)
+	}
+	if c.cfg.MaxRequeues > 0 && e.Evictions > c.cfg.MaxRequeues {
+		c.violatef(InvJobRequeue, e.At, rec,
+			"job %q requeue %d exceeds the budget %d", e.Job, e.Evictions, c.cfg.MaxRequeues)
+	}
+	if want := j.work - j.progress; e.Remaining != want {
+		c.violatef(InvJobProgress, e.At, rec,
+			"job %q requeued with remaining %v, checkpointed progress %v of %v leaves %v",
+			e.Job, e.Remaining, j.progress, j.work, want)
+	}
+	j.phase = jobQueued
+}
+
+// OnJobComplete implements obs.Observer.
+func (c *JobChecker) OnJobComplete(e obs.JobComplete) {
+	c.ring.OnJobComplete(e)
+	rec := obs.Record{Kind: obs.KindJobComplete, JobComplete: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	j, ok := c.jobs[e.Job]
+	if !ok {
+		c.violatef(InvJobLifecycle, e.At, rec, "completion of unsubmitted job %q", e.Job)
+		return
+	}
+	if j.phase == jobDone {
+		c.violatef(InvJobLifecycle, e.At, rec, "job %q completed twice", e.Job)
+		return
+	}
+	if j.phase != jobRunning {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"completion of job %q while %s, want running", e.Job, j.phase)
+	} else if e.Server != j.server {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"job %q completed on server %d but runs on %d", e.Job, e.Server, j.server)
+	}
+	if want := e.At - j.submitAt; e.Elapsed != want {
+		c.violatef(InvJobLifecycle, e.At, rec,
+			"job %q reports elapsed %v, submitted at %v so want %v", e.Job, e.Elapsed, j.submitAt, want)
+	}
+	if e.Evictions != j.evictions {
+		c.violatef(InvJobRequeue, e.At, rec,
+			"job %q completed with eviction count %d, want %d", e.Job, e.Evictions, j.evictions)
+	}
+	c.release(j)
+	j.phase = jobDone
+	j.progress = j.work
+}
+
+// OnJobSLOMiss implements obs.Observer.
+func (c *JobChecker) OnJobSLOMiss(e obs.JobSLOMiss) {
+	c.ring.OnJobSLOMiss(e)
+	rec := obs.Record{Kind: obs.KindJobSLOMiss, JobSLOMiss: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	j, ok := c.jobs[e.Job]
+	if !ok {
+		c.violatef(InvJobSLO, e.At, rec, "SLO miss for unsubmitted job %q", e.Job)
+		return
+	}
+	if j.deadline == 0 {
+		c.violatef(InvJobSLO, e.At, rec, "SLO miss for job %q with no deadline", e.Job)
+		return
+	}
+	if j.sloMissed {
+		c.violatef(InvJobSLO, e.At, rec, "job %q missed its SLO twice", e.Job)
+	}
+	if e.Deadline != j.deadline {
+		c.violatef(InvJobSLO, e.At, rec,
+			"SLO miss reports deadline %v, job %q has %v", e.Deadline, e.Job, j.deadline)
+	}
+	if e.At <= j.deadline {
+		c.violatef(InvJobSLO, e.At, rec,
+			"SLO miss at %v, before job %q's deadline %v", e.At, e.Job, j.deadline)
+	}
+	if want := e.At - j.deadline; e.Late != want {
+		c.violatef(InvJobSLO, e.At, rec,
+			"SLO miss reports %v late, deadline %v at time %v gives %v", e.Late, j.deadline, e.At, want)
+	}
+	j.sloMissed = true
+}
+
+// Non-job events only feed the flight recorder and shared checks.
+
+func (c *JobChecker) OnPollSample(e obs.PollSample) {
+	c.ring.OnPollSample(e)
+	c.enter(obs.Record{Kind: obs.KindPollSample, PollSample: e}, e.At)
+}
+func (c *JobChecker) OnWindowEnd(e obs.WindowEnd) {
+	c.ring.OnWindowEnd(e)
+	c.enter(obs.Record{Kind: obs.KindWindowEnd, WindowEnd: e}, e.At)
+}
+func (c *JobChecker) OnSafeguardTrip(e obs.SafeguardTrip) {
+	c.ring.OnSafeguardTrip(e)
+	c.enter(obs.Record{Kind: obs.KindSafeguardTrip, SafeguardTrip: e}, e.At)
+}
+func (c *JobChecker) OnQoSTrip(e obs.QoSTrip) {
+	c.ring.OnQoSTrip(e)
+	c.enter(obs.Record{Kind: obs.KindQoSTrip, QoSTrip: e}, e.At)
+}
+func (c *JobChecker) OnQoSResume(e obs.QoSResume) {
+	c.ring.OnQoSResume(e)
+	c.enter(obs.Record{Kind: obs.KindQoSResume, QoSResume: e}, e.At)
+}
+func (c *JobChecker) OnResize(e obs.Resize) {
+	c.ring.OnResize(e)
+	c.enter(obs.Record{Kind: obs.KindResize, Resize: e}, e.At)
+}
+func (c *JobChecker) OnChurnApplied(e obs.ChurnApplied) {
+	c.ring.OnChurnApplied(e)
+	c.enter(obs.Record{Kind: obs.KindChurnApplied, ChurnApplied: e}, e.At)
+}
+func (c *JobChecker) OnBatchProgress(e obs.BatchProgress) {
+	c.ring.OnBatchProgress(e)
+	c.enter(obs.Record{Kind: obs.KindBatchProgress, BatchProgress: e}, e.At)
+}
+func (c *JobChecker) OnFaultInjected(e obs.FaultInjected) {
+	c.ring.OnFaultInjected(e)
+	c.enter(obs.Record{Kind: obs.KindFaultInjected, FaultInjected: e}, e.At)
+}
+func (c *JobChecker) OnResizeRetry(e obs.ResizeRetry) {
+	c.ring.OnResizeRetry(e)
+	c.enter(obs.Record{Kind: obs.KindResizeRetry, ResizeRetry: e}, e.At)
+}
+func (c *JobChecker) OnDegradedEnter(e obs.DegradedEnter) {
+	c.ring.OnDegradedEnter(e)
+	c.enter(obs.Record{Kind: obs.KindDegradedEnter, DegradedEnter: e}, e.At)
+}
+func (c *JobChecker) OnDegradedExit(e obs.DegradedExit) {
+	c.ring.OnDegradedExit(e)
+	c.enter(obs.Record{Kind: obs.KindDegradedExit, DegradedExit: e}, e.At)
+}
+
+var _ obs.Observer = (*JobChecker)(nil)

@@ -59,6 +59,24 @@ func (r *recorder) OnDegradedEnter(e obs.DegradedEnter) {
 func (r *recorder) OnDegradedExit(e obs.DegradedExit) {
 	r.recs = append(r.recs, obs.Record{Kind: obs.KindDegradedExit, DegradedExit: e})
 }
+func (r *recorder) OnJobSubmit(e obs.JobSubmit) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindJobSubmit, JobSubmit: e})
+}
+func (r *recorder) OnJobStart(e obs.JobStart) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindJobStart, JobStart: e})
+}
+func (r *recorder) OnJobEvict(e obs.JobEvict) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindJobEvict, JobEvict: e})
+}
+func (r *recorder) OnJobRequeue(e obs.JobRequeue) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindJobRequeue, JobRequeue: e})
+}
+func (r *recorder) OnJobComplete(e obs.JobComplete) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindJobComplete, JobComplete: e})
+}
+func (r *recorder) OnJobSLOMiss(e obs.JobSLOMiss) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindJobSLOMiss, JobSLOMiss: e})
+}
 
 // replay feeds captured records into a checker as if the run were live.
 func replay(c *check.Checker, recs []obs.Record) *check.Report {

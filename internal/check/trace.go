@@ -52,6 +52,18 @@ var traceSchema = map[string]map[string]fieldKind{
 	obs.KindResizeRetry.String():   {"target": fNum, "attempt": fNum, "backoff": fNum},
 	obs.KindDegradedEnter.String(): {"reason": fStr, "failures": fNum, "missed_polls": fNum},
 	obs.KindDegradedExit.String():  {"clean_for": fNum, "dur": fNum},
+	obs.KindJobSubmit.String():     {"job": fStr, "work": fNum, "width": fNum, "deadline": fNum},
+	obs.KindJobStart.String(): {
+		"job": fStr, "server": fNum, "grant": fNum, "harvest": fNum,
+		"attempt": fNum, "remaining": fNum,
+	},
+	obs.KindJobEvict.String(): {
+		"job": fStr, "server": fNum, "progress": fNum, "evictions": fNum,
+		"final": fBool,
+	},
+	obs.KindJobRequeue.String():  {"job": fStr, "evictions": fNum, "remaining": fNum},
+	obs.KindJobComplete.String(): {"job": fStr, "server": fNum, "elapsed": fNum, "evictions": fNum},
+	obs.KindJobSLOMiss.String():  {"job": fStr, "deadline": fNum, "late": fNum},
 }
 
 // validClamp is the closed set of clamp-reason strings a window decision

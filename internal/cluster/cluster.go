@@ -5,16 +5,25 @@
 // and aggregates the datacenter-level quantity the paper's introduction
 // motivates: how many allocated-but-idle core-hours the ElasticVMs
 // recover, at what tail-latency cost.
+//
+// A fleet can also be driven incrementally through the Fleet type, which
+// exposes each server's live harvested capacity and the agent's forecast
+// of it — the substrate the fleet job scheduler (internal/sched) places
+// batch jobs onto.
 package cluster
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"smartharvest/internal/apps"
 	"smartharvest/internal/core"
+	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/hypervisor"
 	"smartharvest/internal/metrics"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 	"smartharvest/internal/simrng"
 	"smartharvest/internal/workload"
@@ -43,6 +52,31 @@ type Config struct {
 	// Workloads are sampled uniformly for each arriving tenant (default:
 	// the paper's four primaries at their standard loads).
 	Workloads []apps.PrimarySpec
+
+	// RejectRetries, when positive, gives each rejected tenant arrival up
+	// to that many retry attempts, each after RejectRetryDelay, before it
+	// is finally counted as Rejected. Zero (the default) drops rejected
+	// arrivals immediately — runs are byte-identical to builds that never
+	// heard of retries, since no extra randomness is drawn either way.
+	RejectRetries int
+	// RejectRetryDelay is the wait before each retry attempt (default
+	// 500 ms when RejectRetries is positive).
+	RejectRetryDelay sim.Time
+
+	// DisableElasticBully leaves each server's ElasticVM idle instead of
+	// running the CPU bully, so harvested capacity is available to fleet
+	// jobs placed through Fleet.AddJobVM (internal/sched).
+	DisableElasticBully bool
+
+	// Faults injects deterministic faults into every server (each server
+	// gets its own injector stream derived from Seed). The zero plan
+	// injects nothing and draws nothing.
+	Faults faults.Plan
+	// Observer receives fleet-level events: fault injections and, when
+	// the fleet is driven by a scheduler, the job lifecycle events. The
+	// per-server agent streams are not forwarded (they would interleave
+	// across servers).
+	Observer obs.Observer
 
 	// Duration is the measured time; Warmup precedes it.
 	Duration sim.Time
@@ -81,6 +115,9 @@ func (c *Config) applyDefaults() {
 	if c.MeanLifetime == 0 {
 		c.MeanLifetime = 20 * sim.Second
 	}
+	if c.RejectRetries > 0 && c.RejectRetryDelay == 0 {
+		c.RejectRetryDelay = 500 * sim.Millisecond
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -95,6 +132,9 @@ func (c *Config) validate() error {
 	}
 	if c.ArrivalRate < 0 {
 		return fmt.Errorf("cluster: negative arrival rate")
+	}
+	if c.RejectRetries < 0 || c.RejectRetryDelay < 0 {
+		return fmt.Errorf("cluster: negative RejectRetries or RejectRetryDelay")
 	}
 	return nil
 }
@@ -126,37 +166,94 @@ type tenant struct {
 type ServerStats struct {
 	TenantsHosted     int
 	AvgHarvestedCores float64
+	HarvestedCoreSec  float64
 	ElasticCPUSeconds float64
 	Safeguards        uint64
 	QoSTrips          uint64
 }
 
+// HarvestSpread is the distribution of per-server harvested core-seconds
+// across the fleet (nearest-rank quantiles over the servers).
+type HarvestSpread struct {
+	Min    float64
+	Median float64
+	P99    float64
+	Max    float64
+}
+
+func (s HarvestSpread) String() string {
+	return fmt.Sprintf("min %.1f / median %.1f / P99 %.1f / max %.1f",
+		s.Min, s.Median, s.P99, s.Max)
+}
+
 // Result aggregates a fleet run.
 type Result struct {
 	Placed, Rejected  int
+	Retries           int // rejected-arrival retry attempts performed
 	Departed          int
 	PerServer         []ServerStats
 	FleetAvgHarvested float64 // per-server average of harvested cores
 	HarvestedCoreSec  float64 // total elastic core-seconds beyond minimums
-	ElasticCPUSec     float64 // total elastic CPU actually executed
-	TenantLatency     metrics.Summary
+	// Spread is the per-server harvested core-seconds distribution.
+	Spread        HarvestSpread
+	ElasticCPUSec float64 // total elastic CPU actually executed
+	// FaultsInjected counts injected faults across the fleet (zero on
+	// fault-free runs).
+	FaultsInjected uint64
+	TenantLatency  metrics.Summary
 }
 
-// Run executes the fleet simulation.
-func Run(cfg Config) (*Result, error) {
+// Fleet is an assembled fleet simulation that has not run yet (or is
+// mid-run). A scheduler drives it by scheduling callbacks on Loop before
+// calling Finish, querying each server's harvested capacity and placing
+// job VMs into the elastic groups as it goes.
+type Fleet struct {
+	cfg       Config
+	loop      *sim.Loop
+	servers   []*server
+	injectors []*faults.Injector
+	res       *Result
+	merged    *metrics.Histogram
+	runErr    error
+	end       sim.Time
+	finished  bool
+}
+
+// NewFleet builds the fleet: servers, agents, the tenant arrival process,
+// and the warmup snapshot, all scheduled on a fresh loop. Nothing runs
+// until Finish (or the caller steps the loop itself).
+func NewFleet(cfg Config) (*Fleet, error) {
 	cfg.applyDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	rng := simrng.New(cfg.Seed)
 	loop := sim.NewLoop()
+	f := &Fleet{
+		cfg: cfg, loop: loop, res: &Result{},
+		merged: metrics.NewHistogram(),
+		end:    cfg.Warmup + cfg.Duration,
+	}
 
 	maxAlloc := cfg.CoresPerServer - cfg.ElasticMin
-	servers := make([]*server, cfg.Servers)
-	for i := range servers {
+	f.servers = make([]*server, cfg.Servers)
+	for i := range f.servers {
 		hvCfg := hypervisor.DefaultConfig(cfg.CoresPerServer)
 		hvCfg.Mechanism = cfg.Mechanism
 		hvCfg.Seed = rng.Uint64()
+		// The injector (and its RNG draw) exists only when the plan
+		// injects something, keeping fault-free runs byte-identical to
+		// builds that never heard of fault injection.
+		var inj *faults.Injector
+		if cfg.Faults.Enabled() {
+			var err error
+			inj, err = faults.NewInjector(cfg.Faults, simrng.New(rng.Uint64()), loop.Now, cfg.Observer)
+			if err != nil {
+				return nil, err
+			}
+			hvCfg.Faults = inj
+			f.injectors = append(f.injectors, inj)
+		}
 		machine, err := hypervisor.New(loop, hvCfg)
 		if err != nil {
 			return nil, err
@@ -165,7 +262,9 @@ func Run(cfg Config) (*Result, error) {
 		// floor, everything else harvestable.
 		machine.SetInitialSplit(1)
 		evm := machine.AddVM("elastic", hypervisor.ElasticGroup, cfg.CoresPerServer, cfg.CoresPerServer)
-		apps.NewCPUBully(loop, evm).Start()
+		if !cfg.DisableElasticBully {
+			apps.NewCPUBully(loop, evm).Start()
+		}
 
 		agentCfg := core.DefaultConfig(maxAlloc, cfg.ElasticMin)
 		if cfg.Mechanism == hypervisor.IPI {
@@ -173,7 +272,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		ctrl := cfg.Controller(maxAlloc)
 		agentCfg.LongTermSafeguard = ctrl.Safeguards()
-		agent, err := core.NewAgent(loop, machineAdapter{machine}, ctrl, agentCfg)
+		var hv core.Hypervisor = machineAdapter{machine}
+		if inj != nil {
+			agentCfg.Faults = inj
+			hv = faultyAdapter{machineAdapter{machine}, inj}
+		}
+		agent, err := core.NewAgent(loop, hv, ctrl, agentCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -181,92 +285,161 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		agent.Start()
-		servers[i] = &server{
+		f.servers[i] = &server{
 			machine: machine, agent: agent, evm: evm,
 			tenants: map[*tenant]struct{}{}, maxAlloc: maxAlloc,
 		}
 	}
 
-	res := &Result{}
-	merged := metrics.NewHistogram()
-	var runErr error
-
-	// place puts a new tenant on the first server with room.
-	place := func() {
-		spec := cfg.Workloads[rng.Intn(len(cfg.Workloads))]
+	// place puts a tenant on the first server with room; a full fleet
+	// retries after a delay (when configured) before finally rejecting.
+	var place func(spec apps.PrimarySpec, retriesLeft int)
+	place = func(spec apps.PrimarySpec, retriesLeft int) {
 		var target *server
-		for _, s := range servers {
+		for _, s := range f.servers {
 			if s.allocUsed(cfg.VMCores)+cfg.VMCores <= s.maxAlloc {
 				target = s
 				break
 			}
 		}
 		if target == nil {
-			res.Rejected++
+			if retriesLeft > 0 {
+				f.res.Retries++
+				loop.After(cfg.RejectRetryDelay, func() {
+					if f.runErr == nil {
+						place(spec, retriesLeft-1)
+					}
+				})
+			} else {
+				f.res.Rejected++
+			}
 			return
 		}
 		vm := target.machine.AddVM(spec.Name, hypervisor.PrimaryGroup, cfg.VMCores, cfg.VMCores)
 		srv, err := spec.Build(loop, vm, rng.Split(), cfg.Warmup)
 		if err != nil {
-			runErr = err
+			f.runErr = err
 			return
 		}
 		srv.Start()
 		tn := &tenant{vm: vm, server: target, srv: srv, spec: spec}
 		target.tenants[tn] = struct{}{}
 		target.tenantsHostedTotal++
-		res.Placed++
+		f.res.Placed++
 		if err := target.agent.SetPrimaryAlloc(target.allocUsed(cfg.VMCores)); err != nil {
-			runErr = err
+			f.runErr = err
 			return
 		}
 		// Schedule departure.
 		life := sim.Time(rng.Exp(float64(cfg.MeanLifetime)))
 		loop.After(life, func() {
-			if runErr != nil {
+			if f.runErr != nil {
 				return
 			}
-			merged.Merge(tn.srv.Latency())
+			f.merged.Merge(tn.srv.Latency())
 			tn.server.machine.RemoveVM(tn.vm)
 			delete(tn.server.tenants, tn)
-			res.Departed++
+			f.res.Departed++
 			alloc := tn.server.allocUsed(cfg.VMCores)
 			if alloc < 1 {
 				alloc = 1 // empty-server floor
 			}
 			if err := tn.server.agent.SetPrimaryAlloc(alloc); err != nil {
-				runErr = err
+				f.runErr = err
 			}
 		})
 	}
 
-	// Tenant arrival process.
+	// Tenant arrival process. The workload draw happens at arrival time
+	// (before the fit search), so the RNG stream is identical whether or
+	// not retries are enabled.
 	if cfg.ArrivalRate > 0 {
 		var next func()
 		next = func() {
-			place()
+			place(cfg.Workloads[rng.Intn(len(cfg.Workloads))], cfg.RejectRetries)
 			loop.After(sim.Time(rng.Exp(1e9/cfg.ArrivalRate)), next)
 		}
 		loop.After(sim.Time(rng.Exp(1e9/cfg.ArrivalRate)), next)
 	}
 
 	loop.At(cfg.Warmup, func() {
-		for _, s := range servers {
+		for _, s := range f.servers {
 			s.warmCoreSec = s.machine.CoreSeconds(hypervisor.ElasticGroup)
 			s.warmCPUSec = s.evm.CPUTime().Seconds()
 		}
 	})
+	return f, nil
+}
 
-	end := cfg.Warmup + cfg.Duration
-	loop.RunUntil(end)
-	if runErr != nil {
-		return nil, runErr
+// Loop returns the fleet's event loop, for scheduling caller callbacks.
+func (f *Fleet) Loop() *sim.Loop { return f.loop }
+
+// Servers returns the fleet size.
+func (f *Fleet) Servers() int { return len(f.servers) }
+
+// End returns the run's end time (warmup + duration).
+func (f *Fleet) End() sim.Time { return f.end }
+
+// Warmup returns the configured warmup span.
+func (f *Fleet) Warmup() sim.Time { return f.cfg.Warmup }
+
+// HarvestedCores returns server i's harvested capacity right now: the
+// elastic group's physical cores beyond the ElasticVM's guaranteed
+// minimum. This is what a fleet scheduler may grant to jobs.
+func (f *Fleet) HarvestedCores(i int) int {
+	n := f.servers[i].machine.GroupCores(hypervisor.ElasticGroup) - f.cfg.ElasticMin
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// ForecastCores returns server i's predicted harvested capacity for the
+// next learning window: the agent's live in-force primary-core target
+// subtracted from the harvestable pool. This is the learner's own
+// forecast — when the safeguards pin the target to the full allocation,
+// the forecast collapses to zero, which is exactly the signal a
+// prediction-aware placement policy wants.
+func (f *Fleet) ForecastCores(i int) int {
+	s := f.servers[i]
+	n := s.maxAlloc - s.agent.Target()
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// AddJobVM places a batch-job VM with the given vCPU count into server
+// i's elastic group, where it shares harvested cores with (and is
+// scheduled exactly like) the ElasticVM.
+func (f *Fleet) AddJobVM(i int, name string, vcpus int) *hypervisor.VM {
+	return f.servers[i].machine.AddVM(name, hypervisor.ElasticGroup, vcpus, vcpus)
+}
+
+// RemoveJobVM removes a job VM placed by AddJobVM: running vCPUs stop
+// immediately and queued guest work is discarded.
+func (f *Fleet) RemoveJobVM(i int, vm *hypervisor.VM) {
+	f.servers[i].machine.RemoveVM(vm)
+}
+
+// Finish runs the simulation to the end time and aggregates the result.
+// Calling it again returns the same result.
+func (f *Fleet) Finish() (*Result, error) {
+	if f.finished {
+		return f.res, f.runErr
+	}
+	f.finished = true
+	f.loop.RunUntil(f.end)
+	if f.runErr != nil {
+		return nil, f.runErr
 	}
 
-	measured := cfg.Duration.Seconds()
-	for _, s := range servers {
+	res := f.res
+	measured := f.cfg.Duration.Seconds()
+	perServer := make([]float64, 0, len(f.servers))
+	for _, s := range f.servers {
 		harvestedSec := s.machine.CoreSeconds(hypervisor.ElasticGroup) - s.warmCoreSec -
-			float64(cfg.ElasticMin)*measured
+			float64(f.cfg.ElasticMin)*measured
 		if harvestedSec < 0 {
 			harvestedSec = 0
 		}
@@ -274,6 +447,7 @@ func Run(cfg Config) (*Result, error) {
 		res.PerServer = append(res.PerServer, ServerStats{
 			TenantsHosted:     s.tenantsHostedTotal,
 			AvgHarvestedCores: harvestedSec / measured,
+			HarvestedCoreSec:  harvestedSec,
 			ElasticCPUSeconds: cpuSec,
 			Safeguards:        s.agent.SafeguardInvocations(),
 			QoSTrips:          s.agent.QoSTrips(),
@@ -281,16 +455,53 @@ func Run(cfg Config) (*Result, error) {
 		res.HarvestedCoreSec += harvestedSec
 		res.ElasticCPUSec += cpuSec
 		res.FleetAvgHarvested += harvestedSec / measured
+		perServer = append(perServer, harvestedSec)
 	}
-	res.FleetAvgHarvested /= float64(len(servers))
+	res.FleetAvgHarvested /= float64(len(f.servers))
+	res.Spread = spreadOf(perServer)
+	for _, inj := range f.injectors {
+		res.FaultsInjected += inj.Total()
+	}
 	// Latencies of tenants still resident at the end.
-	for _, s := range servers {
+	for _, s := range f.servers {
 		for tn := range s.tenants {
-			merged.Merge(tn.srv.Latency())
+			f.merged.Merge(tn.srv.Latency())
 		}
 	}
-	res.TenantLatency = merged.Summarize()
+	res.TenantLatency = f.merged.Summarize()
 	return res, nil
+}
+
+// spreadOf computes nearest-rank quantiles over per-server values
+// (mirroring metrics.ExactQuantile's convention).
+func spreadOf(xs []float64) HarvestSpread {
+	if len(xs) == 0 {
+		return HarvestSpread{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		r := int(math.Ceil(q * float64(len(s))))
+		if r < 1 {
+			r = 1
+		}
+		return s[r-1]
+	}
+	return HarvestSpread{
+		Min:    s[0],
+		Median: rank(0.5),
+		P99:    rank(0.99),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Run executes the fleet simulation start to finish.
+func Run(cfg Config) (*Result, error) {
+	f, err := NewFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return f.Finish()
 }
 
 // machineAdapter bridges the machine to the agent contract (the same
@@ -313,3 +524,14 @@ func (a machineAdapter) SetPrimaryCores(n int) (core.ResizeResult, error) {
 	}, nil
 }
 func (a machineAdapter) DrainPrimaryWaits() []int64 { return a.m.DrainPrimaryWaits() }
+
+// faultyAdapter additionally routes the busy-core signal through the
+// fault injector, mirroring the single-server harness wiring.
+type faultyAdapter struct {
+	machineAdapter
+	inj *faults.Injector
+}
+
+func (a faultyAdapter) BusyPrimaryCores() int {
+	return a.inj.SamplePoll(a.m.BusyCores(hypervisor.PrimaryGroup), a.m.GroupCores(hypervisor.PrimaryGroup))
+}

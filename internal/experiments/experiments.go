@@ -23,6 +23,7 @@ import (
 	"smartharvest/internal/apps"
 	"smartharvest/internal/check"
 	"smartharvest/internal/core"
+	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/metrics"
 	"smartharvest/internal/obs"
@@ -51,6 +52,10 @@ type Config struct {
 	// scenario run; any violation fails the experiment with the checker's
 	// report. CheckStats reports the process-wide tally.
 	Check bool
+	// Faults, when enabled, is injected into the sched experiment's
+	// fleet (every server), composing the job schedulers with degraded
+	// agents. Experiments that own their fault plans (chaos) ignore it.
+	Faults faults.Plan
 }
 
 // checkedRuns and checkViolations tally invariant-checked scenario runs
@@ -218,6 +223,7 @@ func All() []struct {
 		{"ablation", Ablations},
 		{"churn", Churn},
 		{"fleet", Fleet},
+		{"sched", Sched},
 		{"guard-sweep", SafeguardSweep},
 		{"memharvest", MemHarvest},
 		{"chaos", Chaos},

@@ -288,3 +288,49 @@ func TestReportDeterminismAcrossParallelism(t *testing.T) {
 		}
 	}
 }
+
+func TestSchedExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Check = true // job invariants verified on every run
+	rep, err := Sched(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []string{"first-fit", "best-fit", "predicted"} {
+		if !strings.Contains(rep.String(), pol) {
+			t.Errorf("sched report missing %s row", pol)
+		}
+	}
+}
+
+// TestSchedDeterminismAcrossParallelism extends the report-level
+// determinism regression to the job scheduler: the sched report must be
+// byte-identical whether its six runs execute serially or on a 4-way
+// worker pool.
+func TestSchedDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Duration = 4_000_000_000 // 4 simulated seconds keeps this test quick
+
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	serial, err := Sched(serialCfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallelCfg := cfg
+	parallelCfg.Parallel = 4
+	parallel, err := Sched(parallelCfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("sched report differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smartharvest/internal/check"
+	"smartharvest/internal/cluster"
+	"smartharvest/internal/sched"
+)
+
+// Sched compares the fleet job scheduler's placement policies
+// (internal/sched) head to head: the same fleet, tenant stream, and job
+// stream, differing only in how jobs are matched to servers' harvested
+// capacity. It sweeps job arrival rate to show where the policies
+// separate — under light load any placement works; under pressure the
+// predicted policy's use of each agent's live forecast should cut
+// evictions and improve SLO attainment. Runs honor cfg.Check (job
+// invariants via check.JobChecker) and cfg.Faults (injected into every
+// server, composing the schedulers with degraded agents).
+func Sched(cfg Config) (*Report, error) {
+	rates := []float64{1, 3}
+	policies := []sched.Policy{sched.FirstFit, sched.BestFit, sched.Predicted}
+	type spec struct {
+		rate float64
+		pol  sched.Policy
+	}
+	var specs []spec
+	for _, rate := range rates {
+		for _, pol := range policies {
+			specs = append(specs, spec{rate, pol})
+		}
+	}
+
+	// Each run is an independent, fully seeded simulation: run them on a
+	// worker pool and collect by index, so the report is byte-identical
+	// at any cfg.Parallel.
+	results := make([]*sched.Result, len(specs))
+	errs := make([]error, len(specs))
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(specs) {
+		par = len(specs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				var checker *check.JobChecker
+				if cfg.Check {
+					checker = check.NewJobChecker()
+				}
+				results[i], errs[i] = sched.Run(sched.Config{
+					Fleet: cluster.Config{
+						Servers:      4,
+						ArrivalRate:  1.2,
+						MeanLifetime: cfg.Duration / 2,
+						Duration:     cfg.Duration,
+						Warmup:       cfg.Warmup,
+						Seed:         cfg.Seed,
+						Faults:       cfg.Faults,
+					},
+					Policy:      specs[i].pol,
+					ArrivalRate: specs[i].rate,
+					Checker:     checker,
+				})
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	r := &Report{ID: "sched", Title: "harvest-aware job scheduling policies (extension)"}
+	r.addf("%-10s %6s %5s %5s %6s %8s %9s %9s %9s %5s",
+		"policy", "jobs/s", "sub", "done", "evict", "requeue", "P50", "P99", "goodput", "SLO")
+	var allErrs []error
+	var faults uint64
+	for i, res := range results {
+		if errs[i] != nil {
+			allErrs = append(allErrs, fmt.Errorf("experiments: sched %s @%g/s: %w",
+				specs[i].pol, specs[i].rate, errs[i]))
+			continue
+		}
+		slo := "n/a"
+		if res.SLOJobs > 0 {
+			slo = fmt.Sprintf("%3.0f%%", 100*res.SLOAttainment())
+		}
+		r.addf("%-10s %6.1f %5d %5d %6d %8d %9s %9s %8.1fs %5s",
+			res.Policy, specs[i].rate, res.Submitted, res.Completed,
+			res.Evictions, res.Requeues,
+			ms(int64(res.CompletionP50)), ms(int64(res.CompletionP99)),
+			res.GoodputCoreSec, slo)
+		faults += res.Fleet.FaultsInjected
+		if res.Check != nil {
+			checkedRuns.Add(1)
+			if !res.Check.OK() {
+				checkViolations.Add(int64(len(res.Check.Violations) + res.Check.Dropped))
+				allErrs = append(allErrs, fmt.Errorf(
+					"experiments: sched %s @%g/s violated job invariants:\n%s",
+					specs[i].pol, specs[i].rate, res.Check))
+			}
+		}
+	}
+	if cfg.Faults.Enabled() {
+		r.addf("faults injected across runs: %d", faults)
+	}
+	r.addf("(goodput counts completed work only; evicted progress is checkpointed, never double-counted)")
+	if len(allErrs) > 0 {
+		return r, errors.Join(allErrs...)
+	}
+	return r, nil
+}

@@ -243,6 +243,7 @@ func Fleet(cfg Config) (*Report, error) {
 		r.addf("%-14s placed=%d rejected=%d departed=%d", pol.name, res.Placed, res.Rejected, res.Departed)
 		r.addf("%-14s harvested %.1f core-s total (%.2f cores/server avg); elastic executed %.1f core-s",
 			pol.name, res.HarvestedCoreSec, res.FleetAvgHarvested, res.ElasticCPUSec)
+		r.addf("%-14s per-server harvest spread (core-s): %s", pol.name, res.Spread)
 		r.addf("%-14s tenant latency: P50=%s P99=%s over %d requests",
 			pol.name, ms(res.TenantLatency.P50), ms(res.TenantLatency.P99), res.TenantLatency.Count)
 	}

@@ -31,6 +31,10 @@ const (
 	BatchHDInsight
 	// BatchTeraSort runs the sort job to completion.
 	BatchTeraSort
+	// BatchFinite runs a finite CPU allotment (Scenario.BatchWork) with
+	// checkpointed progress — the fleet scheduler's job unit
+	// (apps.FiniteWork), runnable standalone for calibration.
+	BatchFinite
 	// BatchNone leaves the ElasticVM idle.
 	BatchNone
 )
@@ -43,6 +47,8 @@ func (b BatchKind) String() string {
 		return "hdinsight"
 	case BatchTeraSort:
 		return "terasort"
+	case BatchFinite:
+		return "finite"
 	case BatchNone:
 		return "none"
 	default:
@@ -59,10 +65,12 @@ func ParseBatchKind(s string) (BatchKind, error) {
 		return BatchHDInsight, nil
 	case "terasort":
 		return BatchTeraSort, nil
+	case "finite":
+		return BatchFinite, nil
 	case "none":
 		return BatchNone, nil
 	default:
-		return 0, fmt.Errorf("harness: unknown batch kind %q (want cpubully, hdinsight, terasort, or none)", s)
+		return 0, fmt.Errorf("harness: unknown batch kind %q (want cpubully, hdinsight, terasort, finite, or none)", s)
 	}
 }
 
@@ -99,6 +107,12 @@ type Scenario struct {
 	ElasticMin int
 	// Batch selects the ElasticVM workload (default CPUBully).
 	Batch BatchKind
+	// BatchWork is the finite allotment for BatchFinite, in core-time
+	// (default 8 s); ignored for other kinds.
+	BatchWork sim.Time
+	// BatchWidth caps BatchFinite's parallelism in cores (default 0 =
+	// every ElasticVM vCPU); ignored for other kinds.
+	BatchWidth int
 	// Mechanism selects cpugroups or IPIs (default cpugroups).
 	Mechanism hypervisor.Mechanism
 	// Controller builds the policy (default SmartHarvest).
@@ -217,9 +231,12 @@ type Result struct {
 	// warmup.
 	ElasticCPUSeconds float64
 
-	// Batch job completion (for HDInsight/TeraSort).
+	// Batch job completion (for HDInsight/TeraSort/Finite).
 	BatchFinished bool
 	BatchTime     sim.Time
+	// BatchProgress is the finite allotment's checkpointed completed
+	// work (BatchFinite only; equals BatchWork when finished).
+	BatchProgress sim.Time
 
 	// Agent behaviour.
 	Windows    uint64
@@ -355,6 +372,10 @@ func (s *Scenario) validate() error {
 	}
 	if s.Batch < BatchCPUBully || s.Batch > BatchNone {
 		return s.scenarioErr("Batch", ErrUnknownBatch, "BatchKind(%d)", int(s.Batch))
+	}
+	if s.BatchWork < 0 || s.BatchWidth < 0 {
+		return s.scenarioErr("BatchWork/BatchWidth", ErrUnknownBatch,
+			"BatchWork=%v BatchWidth=%d", s.BatchWork, s.BatchWidth)
 	}
 	for i, ev := range s.Churn {
 		if ev.Depart < -1 {
@@ -500,6 +521,8 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	// ElasticVM: as many vCPUs as physical cores (paper §3.2).
 	evm := machine.AddVM("elastic", hypervisor.ElasticGroup, total, total)
 	var batchJob *apps.BatchJob
+	var finite *apps.FiniteWork
+	var finiteDoneAt sim.Time
 	switch s.Batch {
 	case BatchCPUBully:
 		apps.NewCPUBully(loop, evm).Start()
@@ -507,6 +530,16 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 		batchJob = apps.HDInsight(loop, evm, nil)
 	case BatchTeraSort:
 		batchJob = apps.TeraSort(loop, evm, nil)
+	case BatchFinite:
+		work := s.BatchWork
+		if work == 0 {
+			work = 8 * sim.Second
+		}
+		finite = apps.NewFiniteWork(loop, evm, work, func() { finiteDoneAt = loop.Now() })
+		if s.BatchWidth > 0 {
+			finite.LimitParallelism(s.BatchWidth)
+		}
+		finite.Start()
 	case BatchNone:
 	default:
 		// Unreachable: validate rejects unknown kinds up front.
@@ -647,6 +680,13 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 			}
 		}
 	}
+	if finite != nil && !finite.Done() {
+		for !finite.Done() && loop.Now() < end+10*60*sim.Second {
+			if !loop.Step() {
+				break
+			}
+		}
+	}
 
 	res := &Result{
 		Scenario:  s.Name,
@@ -679,6 +719,11 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	if batchJob != nil {
 		res.BatchFinished = batchJob.Finished()
 		res.BatchTime = batchJob.FinishedAt()
+	}
+	if finite != nil {
+		res.BatchFinished = finite.Done()
+		res.BatchTime = finiteDoneAt
+		res.BatchProgress = finite.Completed()
 	}
 	res.Windows = agent.Windows()
 	res.Safeguards = agent.SafeguardInvocations()

@@ -255,3 +255,70 @@ func (j *JSONL) OnDegradedExit(e DegradedExit) {
 	j.intField("dur", int64(e.Dur))
 	j.end()
 }
+
+func (j *JSONL) OnJobSubmit(e JobSubmit) {
+	if !j.begin(KindJobSubmit, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("work", int64(e.Work))
+	j.intField("width", int64(e.Width))
+	j.intField("deadline", int64(e.Deadline))
+	j.end()
+}
+
+func (j *JSONL) OnJobStart(e JobStart) {
+	if !j.begin(KindJobStart, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("server", int64(e.Server))
+	j.intField("grant", int64(e.Grant))
+	j.intField("harvest", int64(e.Harvest))
+	j.intField("attempt", int64(e.Attempt))
+	j.intField("remaining", int64(e.Remaining))
+	j.end()
+}
+
+func (j *JSONL) OnJobEvict(e JobEvict) {
+	if !j.begin(KindJobEvict, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("server", int64(e.Server))
+	j.intField("progress", int64(e.Progress))
+	j.intField("evictions", int64(e.Evictions))
+	j.boolField("final", e.Final)
+	j.end()
+}
+
+func (j *JSONL) OnJobRequeue(e JobRequeue) {
+	if !j.begin(KindJobRequeue, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("evictions", int64(e.Evictions))
+	j.intField("remaining", int64(e.Remaining))
+	j.end()
+}
+
+func (j *JSONL) OnJobComplete(e JobComplete) {
+	if !j.begin(KindJobComplete, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("server", int64(e.Server))
+	j.intField("elapsed", int64(e.Elapsed))
+	j.intField("evictions", int64(e.Evictions))
+	j.end()
+}
+
+func (j *JSONL) OnJobSLOMiss(e JobSLOMiss) {
+	if !j.begin(KindJobSLOMiss, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("deadline", int64(e.Deadline))
+	j.intField("late", int64(e.Late))
+	j.end()
+}

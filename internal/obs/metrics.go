@@ -37,6 +37,14 @@ type Metrics struct {
 	Degradations   uint64 // degraded-enter events
 	DegradedExits  uint64
 
+	// Fleet-scheduler job counters (zero outside sched runs).
+	JobSubmits     uint64
+	JobStarts      uint64
+	JobEvictions   uint64
+	JobRequeues    uint64
+	JobCompletions uint64
+	SLOMisses      uint64
+
 	// Per-window statistics.
 	WindowPeak   metrics.Welford // observed peak busy cores per window
 	WindowTarget metrics.Welford // applied primary-core target per window
@@ -93,6 +101,13 @@ func (m *Metrics) OnResizeRetry(ResizeRetry)     { m.ResizeRetries++ }
 func (m *Metrics) OnDegradedEnter(DegradedEnter) { m.Degradations++ }
 func (m *Metrics) OnDegradedExit(DegradedExit)   { m.DegradedExits++ }
 
+func (m *Metrics) OnJobSubmit(JobSubmit)     { m.JobSubmits++ }
+func (m *Metrics) OnJobStart(JobStart)       { m.JobStarts++ }
+func (m *Metrics) OnJobEvict(JobEvict)       { m.JobEvictions++ }
+func (m *Metrics) OnJobRequeue(JobRequeue)   { m.JobRequeues++ }
+func (m *Metrics) OnJobComplete(JobComplete) { m.JobCompletions++ }
+func (m *Metrics) OnJobSLOMiss(JobSLOMiss)   { m.SLOMisses++ }
+
 // String renders a one-run summary.
 func (m *Metrics) String() string {
 	var b strings.Builder
@@ -114,6 +129,10 @@ func (m *Metrics) String() string {
 	}
 	if m.BatchPhases > 0 {
 		fmt.Fprintf(&b, "\nbatch phases=%d finished=%v", m.BatchPhases, m.BatchFinished)
+	}
+	if m.JobSubmits > 0 {
+		fmt.Fprintf(&b, "\njobs submitted=%d started=%d completed=%d evictions=%d requeues=%d slo-misses=%d",
+			m.JobSubmits, m.JobStarts, m.JobCompletions, m.JobEvictions, m.JobRequeues, m.SLOMisses)
 	}
 	return b.String()
 }

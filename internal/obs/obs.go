@@ -244,6 +244,80 @@ type DegradedExit struct {
 	Dur sim.Time
 }
 
+// JobSubmit fires when a batch job enters the fleet scheduler's queue
+// (see internal/sched).
+type JobSubmit struct {
+	At   sim.Time
+	Job  string
+	Work sim.Time // total CPU work the job needs, in core-time
+	// Width is the job's maximum useful parallelism in cores.
+	Width int
+	// Deadline is the job's absolute SLO deadline; zero means no SLO.
+	Deadline sim.Time
+}
+
+// JobStart fires when the scheduler places a job (or a requeued
+// remainder of one) onto a server's harvested capacity.
+type JobStart struct {
+	At     sim.Time
+	Job    string
+	Server int
+	// Grant is the number of harvested cores committed to the job.
+	Grant int
+	// Harvest is the server's harvested-core count at placement time.
+	Harvest int
+	// Attempt is the 1-based placement attempt (evictions so far + 1).
+	Attempt int
+	// Remaining is the CPU work still owed after checkpointed progress.
+	Remaining sim.Time
+}
+
+// JobEvict fires when a server's harvest collapses under a running job
+// and the scheduler preempts it.
+type JobEvict struct {
+	At     sim.Time
+	Job    string
+	Server int
+	// Progress is the job's cumulative checkpointed CPU work, including
+	// work salvaged from this placement.
+	Progress sim.Time
+	// Evictions is the job's total eviction count including this one.
+	Evictions int
+	// Final marks an eviction that exhausts the requeue budget; the job
+	// is abandoned rather than requeued.
+	Final bool
+}
+
+// JobRequeue fires when an evicted job re-enters the pending queue.
+type JobRequeue struct {
+	At        sim.Time
+	Job       string
+	Evictions int
+	// Remaining is the CPU work still owed (Work - checkpointed progress).
+	Remaining sim.Time
+}
+
+// JobComplete fires when a job finishes its full work allotment.
+type JobComplete struct {
+	At     sim.Time
+	Job    string
+	Server int
+	// Elapsed is the job's completion time (finish - submit).
+	Elapsed   sim.Time
+	Evictions int
+}
+
+// JobSLOMiss fires when a deadline-bearing job completes after its
+// deadline, or is abandoned/unfinished with the deadline already past.
+type JobSLOMiss struct {
+	At       sim.Time
+	Job      string
+	Deadline sim.Time
+	// Late is how far past the deadline the job finished (or the run
+	// ended, for jobs that never finished).
+	Late sim.Time
+}
+
 // Observer receives the event stream. All methods are invoked
 // synchronously on the simulation goroutine; implementations must not
 // retain argument memory beyond the call (events are passed by value, so
@@ -263,6 +337,12 @@ type Observer interface {
 	OnResizeRetry(ResizeRetry)
 	OnDegradedEnter(DegradedEnter)
 	OnDegradedExit(DegradedExit)
+	OnJobSubmit(JobSubmit)
+	OnJobStart(JobStart)
+	OnJobEvict(JobEvict)
+	OnJobRequeue(JobRequeue)
+	OnJobComplete(JobComplete)
+	OnJobSLOMiss(JobSLOMiss)
 }
 
 // NopObserver implements Observer with no-ops; embed it to build partial
@@ -281,6 +361,12 @@ func (NopObserver) OnFaultInjected(FaultInjected) {}
 func (NopObserver) OnResizeRetry(ResizeRetry)     {}
 func (NopObserver) OnDegradedEnter(DegradedEnter) {}
 func (NopObserver) OnDegradedExit(DegradedExit)   {}
+func (NopObserver) OnJobSubmit(JobSubmit)         {}
+func (NopObserver) OnJobStart(JobStart)           {}
+func (NopObserver) OnJobEvict(JobEvict)           {}
+func (NopObserver) OnJobRequeue(JobRequeue)       {}
+func (NopObserver) OnJobComplete(JobComplete)     {}
+func (NopObserver) OnJobSLOMiss(JobSLOMiss)       {}
 
 // multi fans events out to several observers in order.
 type multi struct{ obs []Observer }
@@ -362,5 +448,35 @@ func (m *multi) OnDegradedEnter(e DegradedEnter) {
 func (m *multi) OnDegradedExit(e DegradedExit) {
 	for _, o := range m.obs {
 		o.OnDegradedExit(e)
+	}
+}
+func (m *multi) OnJobSubmit(e JobSubmit) {
+	for _, o := range m.obs {
+		o.OnJobSubmit(e)
+	}
+}
+func (m *multi) OnJobStart(e JobStart) {
+	for _, o := range m.obs {
+		o.OnJobStart(e)
+	}
+}
+func (m *multi) OnJobEvict(e JobEvict) {
+	for _, o := range m.obs {
+		o.OnJobEvict(e)
+	}
+}
+func (m *multi) OnJobRequeue(e JobRequeue) {
+	for _, o := range m.obs {
+		o.OnJobRequeue(e)
+	}
+}
+func (m *multi) OnJobComplete(e JobComplete) {
+	for _, o := range m.obs {
+		o.OnJobComplete(e)
+	}
+}
+func (m *multi) OnJobSLOMiss(e JobSLOMiss) {
+	for _, o := range m.obs {
+		o.OnJobSLOMiss(e)
 	}
 }

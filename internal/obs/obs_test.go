@@ -36,7 +36,19 @@ func feedAll(o Observer) int {
 		Failures: 3, MissedPolls: 0})
 	o.OnDegradedExit(DegradedExit{At: 8 * sim.Second, CleanFor: sim.Second,
 		Dur: 2 * sim.Second})
-	return 12
+	o.OnJobSubmit(JobSubmit{At: 9 * sim.Second, Job: "job-0",
+		Work: 4 * sim.Second, Width: 4, Deadline: 19 * sim.Second})
+	o.OnJobStart(JobStart{At: 9*sim.Second + sim.Millisecond, Job: "job-0",
+		Server: 2, Grant: 3, Harvest: 5, Attempt: 1, Remaining: 4 * sim.Second})
+	o.OnJobEvict(JobEvict{At: 10 * sim.Second, Job: "job-0", Server: 2,
+		Progress: sim.Second, Evictions: 1, Final: false})
+	o.OnJobRequeue(JobRequeue{At: 10 * sim.Second, Job: "job-0",
+		Evictions: 1, Remaining: 3 * sim.Second})
+	o.OnJobComplete(JobComplete{At: 14 * sim.Second, Job: "job-0", Server: 1,
+		Elapsed: 5 * sim.Second, Evictions: 1})
+	o.OnJobSLOMiss(JobSLOMiss{At: 20 * sim.Second, Job: "job-0",
+		Deadline: 19 * sim.Second, Late: sim.Second})
+	return 18
 }
 
 func TestRingKeepsMostRecent(t *testing.T) {
@@ -66,7 +78,7 @@ func TestRingKeepsMostRecent(t *testing.T) {
 }
 
 func TestRingRecordsAllKinds(t *testing.T) {
-	r := NewRing(16)
+	r := NewRing(32)
 	n := feedAll(r)
 	if int(r.TotalEvents()) != n {
 		t.Fatalf("TotalEvents = %d, want %d", r.TotalEvents(), n)
@@ -110,6 +122,12 @@ func TestJSONLSchema(t *testing.T) {
 		`{"v":1,"ev":"retry","t":5001000000,"target":4,"attempt":2,"backoff":2000000}`,
 		`{"v":1,"ev":"degraded-enter","t":6000000000,"reason":"resize-failures","failures":3,"missed_polls":0}`,
 		`{"v":1,"ev":"degraded-exit","t":8000000000,"clean_for":1000000000,"dur":2000000000}`,
+		`{"v":1,"ev":"job-submit","t":9000000000,"job":"job-0","work":4000000000,"width":4,"deadline":19000000000}`,
+		`{"v":1,"ev":"job-start","t":9001000000,"job":"job-0","server":2,"grant":3,"harvest":5,"attempt":1,"remaining":4000000000}`,
+		`{"v":1,"ev":"job-evict","t":10000000000,"job":"job-0","server":2,"progress":1000000000,"evictions":1,"final":false}`,
+		`{"v":1,"ev":"job-requeue","t":10000000000,"job":"job-0","evictions":1,"remaining":3000000000}`,
+		`{"v":1,"ev":"job-complete","t":14000000000,"job":"job-0","server":1,"elapsed":5000000000,"evictions":1}`,
+		`{"v":1,"ev":"job-slo-miss","t":20000000000,"job":"job-0","deadline":19000000000,"late":1000000000}`,
 	}, "\n") + "\n"
 	if got := buf.String(); got != want {
 		t.Errorf("trace lines changed (schema drift — bump SchemaVersion):\ngot:\n%swant:\n%s", got, want)
@@ -126,8 +144,8 @@ func TestJSONLOmitPolls(t *testing.T) {
 	if strings.Contains(buf.String(), `"ev":"poll"`) {
 		t.Error("poll line present despite JSONLOmitPolls")
 	}
-	if n := strings.Count(buf.String(), "\n"); n != 11 {
-		t.Errorf("got %d lines, want 11", n)
+	if n := strings.Count(buf.String(), "\n"); n != 17 {
+		t.Errorf("got %d lines, want 17", n)
 	}
 }
 

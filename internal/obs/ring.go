@@ -16,6 +16,12 @@ const (
 	KindResizeRetry
 	KindDegradedEnter
 	KindDegradedExit
+	KindJobSubmit
+	KindJobStart
+	KindJobEvict
+	KindJobRequeue
+	KindJobComplete
+	KindJobSLOMiss
 
 	numKinds
 )
@@ -24,6 +30,8 @@ var kindNames = [numKinds]string{
 	"poll", "window", "safeguard", "qos-trip", "qos-resume",
 	"resize", "churn", "batch", "fault", "retry",
 	"degraded-enter", "degraded-exit",
+	"job-submit", "job-start", "job-evict", "job-requeue",
+	"job-complete", "job-slo-miss",
 }
 
 func (k Kind) String() string {
@@ -50,6 +58,12 @@ type Record struct {
 	ResizeRetry   ResizeRetry
 	DegradedEnter DegradedEnter
 	DegradedExit  DegradedExit
+	JobSubmit     JobSubmit
+	JobStart      JobStart
+	JobEvict      JobEvict
+	JobRequeue    JobRequeue
+	JobComplete   JobComplete
+	JobSLOMiss    JobSLOMiss
 }
 
 // Ring is the in-memory flight-recorder sink: it keeps the most recent
@@ -137,3 +151,9 @@ func (r *Ring) OnFaultInjected(e FaultInjected) { r.add(KindFaultInjected).Fault
 func (r *Ring) OnResizeRetry(e ResizeRetry)     { r.add(KindResizeRetry).ResizeRetry = e }
 func (r *Ring) OnDegradedEnter(e DegradedEnter) { r.add(KindDegradedEnter).DegradedEnter = e }
 func (r *Ring) OnDegradedExit(e DegradedExit)   { r.add(KindDegradedExit).DegradedExit = e }
+func (r *Ring) OnJobSubmit(e JobSubmit)         { r.add(KindJobSubmit).JobSubmit = e }
+func (r *Ring) OnJobStart(e JobStart)           { r.add(KindJobStart).JobStart = e }
+func (r *Ring) OnJobEvict(e JobEvict)           { r.add(KindJobEvict).JobEvict = e }
+func (r *Ring) OnJobRequeue(e JobRequeue)       { r.add(KindJobRequeue).JobRequeue = e }
+func (r *Ring) OnJobComplete(e JobComplete)     { r.add(KindJobComplete).JobComplete = e }
+func (r *Ring) OnJobSLOMiss(e JobSLOMiss)       { r.add(KindJobSLOMiss).JobSLOMiss = e }

@@ -1,0 +1,543 @@
+// Package sched is a harvest-aware fleet job scheduler: it places
+// finite, optionally deadline-bearing batch jobs onto the volatile
+// harvested capacity a cluster.Fleet exposes. The paper harvests idle
+// cores into a bully that merely soaks them up; follow-on systems (Freyr,
+// prediction-informed online placement) show the payoff is serving real
+// work from that capacity. This package reproduces that next step on the
+// simulator: jobs arrive in a Poisson stream, a pluggable placement
+// policy picks a server, and when a server's harvest collapses under its
+// commitments — tenants arrive, safeguards fire — running jobs are
+// preempted and requeued with their checkpointed progress intact, with a
+// bounded requeue budget.
+//
+// Three placement policies are provided: FirstFit takes the first server
+// with a free harvested core; BestFit takes the server with the most
+// free harvested cores right now; Predicted ranks servers by each
+// agent's live learner forecast of next-window free cores (the in-force
+// primary-core target subtracted from the harvestable pool) and refuses
+// servers whose forecast says the capacity is about to vanish. None of
+// the policies see the future — Predicted consumes exactly the signal
+// the paper's learner already produces.
+package sched
+
+import (
+	"fmt"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/check"
+	"smartharvest/internal/cluster"
+	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/metrics"
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sim"
+	"smartharvest/internal/simrng"
+)
+
+// Policy selects how jobs are placed onto servers.
+type Policy int
+
+const (
+	// FirstFit places on the lowest-indexed server with free harvested
+	// capacity.
+	FirstFit Policy = iota
+	// BestFit places on the server with the most free harvested capacity
+	// at placement time.
+	BestFit
+	// Predicted places on the server whose live learner forecast promises
+	// the most free capacity next window, and only if that forecast is
+	// positive — capacity the learner expects to vanish is not used.
+	Predicted
+)
+
+var policyNames = [...]string{"first-fit", "best-fit", "predicted"}
+
+func (p Policy) String() string {
+	if int(p) >= 0 && int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return "unknown"
+}
+
+// ParsePolicy parses a Policy from its String form.
+func ParsePolicy(s string) (Policy, error) {
+	for i, name := range policyNames {
+		if s == name {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q (want first-fit, best-fit, or predicted)", s)
+}
+
+// JobSpec describes one class of batch job.
+type JobSpec struct {
+	// Work is the job's total CPU demand in core-time.
+	Work sim.Time
+	// Width is the job's maximum useful parallelism in cores.
+	Width int
+	// Deadline is the job's SLO, relative to submission; zero means none.
+	Deadline sim.Time
+}
+
+// Config describes one scheduler run.
+type Config struct {
+	// Fleet configures the underlying cluster simulation. The ElasticVM
+	// bully is disabled regardless of the flag — harvested capacity goes
+	// to jobs. Fleet.Observer receives the job lifecycle events too.
+	Fleet cluster.Config
+	// Policy selects the placement policy.
+	Policy Policy
+	// ArrivalRate is job arrivals per second across the fleet (default 1).
+	// Arrivals start after the fleet's warmup.
+	ArrivalRate float64
+	// Jobs are sampled uniformly for each arrival (default: a small,
+	// medium-deadline, and large-no-deadline mix).
+	Jobs []JobSpec
+	// MaxRequeues is the per-job requeue budget: an eviction beyond it
+	// abandons the job (default 3).
+	MaxRequeues int
+	// ReconcileEvery is the eviction/placement reconciliation period
+	// (default 25 ms, one learning window).
+	ReconcileEvery sim.Time
+	// Checker, when set, verifies the job event stream online; Bind is
+	// called automatically and the report lands in Result.Check.
+	Checker *check.JobChecker
+}
+
+func (c *Config) applyDefaults() {
+	c.Fleet.DisableElasticBully = true
+	if c.ArrivalRate == 0 {
+		c.ArrivalRate = 1
+	}
+	if len(c.Jobs) == 0 {
+		c.Jobs = []JobSpec{
+			{Work: 4 * sim.Second, Width: 4, Deadline: 10 * sim.Second},
+			{Work: 8 * sim.Second, Width: 8, Deadline: 25 * sim.Second},
+			{Work: 16 * sim.Second, Width: 8},
+		}
+	}
+	if c.MaxRequeues == 0 {
+		c.MaxRequeues = 3
+	}
+	if c.ReconcileEvery == 0 {
+		c.ReconcileEvery = 25 * sim.Millisecond
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Policy < FirstFit || c.Policy > Predicted {
+		return fmt.Errorf("sched: unknown policy %d", int(c.Policy))
+	}
+	if c.ArrivalRate < 0 || c.MaxRequeues < 0 || c.ReconcileEvery < 0 {
+		return fmt.Errorf("sched: negative ArrivalRate, MaxRequeues, or ReconcileEvery")
+	}
+	for i, j := range c.Jobs {
+		if j.Work <= 0 || j.Width < 1 || j.Deadline < 0 {
+			return fmt.Errorf("sched: job spec %d malformed (work %v, width %d, deadline %v)",
+				i, j.Work, j.Width, j.Deadline)
+		}
+	}
+	return nil
+}
+
+// Result is one scheduler run's job-level outcome.
+type Result struct {
+	Policy    Policy
+	Submitted int
+	Completed int
+	// Abandoned jobs exhausted their requeue budget.
+	Abandoned int
+	// Unfinished jobs were still queued or running at the end of the run.
+	Unfinished int
+	Evictions  int
+	Requeues   int
+
+	// CompletionP50/P99 are exact quantiles of completed jobs' elapsed
+	// times (submit to finish).
+	CompletionP50 sim.Time
+	CompletionP99 sim.Time
+	// GoodputCoreSec is the core-seconds of completed work — only jobs
+	// that finished count, evicted-and-lost work never does.
+	GoodputCoreSec float64
+	// SLOJobs counts deadline-bearing jobs whose outcome is known by the
+	// end of the run (completed, or deadline already past); SLOMet counts
+	// those that completed in time.
+	SLOJobs int
+	SLOMet  int
+
+	// Fleet is the underlying cluster run's result.
+	Fleet *cluster.Result
+	// Check is the job-invariant verification report (nil when no
+	// Checker was attached).
+	Check *check.Report
+}
+
+// SLOAttainment returns the fraction of decided SLO jobs that met their
+// deadline, or 1 when the run had none.
+func (r *Result) SLOAttainment() float64 {
+	if r.SLOJobs == 0 {
+		return 1
+	}
+	return float64(r.SLOMet) / float64(r.SLOJobs)
+}
+
+// jobState is a job's scheduler-side lifecycle phase.
+type jobState int
+
+const (
+	statePending jobState = iota
+	stateRunning
+	stateDone
+	stateAbandoned
+)
+
+// job is one submitted batch job.
+type job struct {
+	name     string
+	spec     JobSpec
+	deadline sim.Time // absolute; zero = none
+	submitAt sim.Time
+
+	state     jobState
+	progress  sim.Time // checkpointed completed work
+	evictions int
+
+	server int
+	grant  int
+	vm     *hypervisor.VM
+	app    *apps.FiniteWork
+
+	doneAt    sim.Time
+	sloMissed bool
+}
+
+func (j *job) remaining() sim.Time { return j.spec.Work - j.progress }
+
+// scheduler drives one run.
+type scheduler struct {
+	cfg   Config
+	fleet *cluster.Fleet
+	loop  *sim.Loop
+	obs   obs.Observer
+
+	pending   []*job
+	running   [][]*job // per server, placement order
+	committed []int    // per server, cores granted to running jobs
+	all       []*job
+
+	res *Result
+}
+
+// Run executes one scheduler simulation. Everything is deterministic
+// from the fleet seed: job arrivals draw from their own RNG stream, so
+// the tenant process is byte-identical to a plain cluster run with the
+// same configuration.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Checker != nil {
+		cfg.Fleet.Observer = obs.Multi(cfg.Fleet.Observer, cfg.Checker)
+	}
+	fleet, err := cluster.NewFleet(cfg.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Checker != nil {
+		if err := cfg.Checker.Bind(check.JobConfig{
+			MaxRequeues: cfg.MaxRequeues,
+			Servers:     fleet.Servers(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &scheduler{
+		cfg: cfg, fleet: fleet, loop: fleet.Loop(), obs: cfg.Fleet.Observer,
+		running:   make([][]*job, fleet.Servers()),
+		committed: make([]int, fleet.Servers()),
+		res:       &Result{Policy: cfg.Policy},
+	}
+
+	// Job arrivals on their own RNG stream (never touching the fleet's),
+	// starting after warmup.
+	seed := cfg.Fleet.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	jrng := simrng.New(seed + 0x9E3779B97F4A7C15)
+	if cfg.ArrivalRate > 0 {
+		var next func()
+		next = func() {
+			s.submit(cfg.Jobs[jrng.Intn(len(cfg.Jobs))])
+			s.loop.After(sim.Time(jrng.Exp(1e9/cfg.ArrivalRate)), next)
+		}
+		s.loop.At(fleet.Warmup()+sim.Time(jrng.Exp(1e9/cfg.ArrivalRate)), next)
+	}
+
+	// Reconciliation: evict overcommitted servers, then place what fits.
+	s.loop.NewTicker(fleet.Warmup(), cfg.ReconcileEvery, s.reconcile)
+
+	fleetRes, err := fleet.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.res.Fleet = fleetRes
+	s.finalize()
+	if cfg.Checker != nil {
+		s.res.Check = cfg.Checker.Finish()
+	}
+	return s.res, nil
+}
+
+func (s *scheduler) submit(spec JobSpec) {
+	now := s.loop.Now()
+	j := &job{
+		name: fmt.Sprintf("job-%d", len(s.all)), spec: spec,
+		submitAt: now, server: -1,
+	}
+	if spec.Deadline > 0 {
+		j.deadline = now + spec.Deadline
+	}
+	s.all = append(s.all, j)
+	s.res.Submitted++
+	if s.obs != nil {
+		s.obs.OnJobSubmit(obs.JobSubmit{
+			At: now, Job: j.name, Work: spec.Work, Width: spec.Width,
+			Deadline: j.deadline,
+		})
+	}
+	s.pending = append(s.pending, j)
+	s.tryPlace()
+}
+
+// free returns server i's uncommitted harvested cores right now.
+func (s *scheduler) free(i int) int {
+	return s.fleet.HarvestedCores(i) - s.committed[i]
+}
+
+// pick selects a server for the next job per the policy, or -1.
+func (s *scheduler) pick() int {
+	n := s.fleet.Servers()
+	switch s.cfg.Policy {
+	case FirstFit:
+		for i := 0; i < n; i++ {
+			if s.free(i) >= 1 {
+				return i
+			}
+		}
+	case BestFit:
+		best, bestFree := -1, 0
+		for i := 0; i < n; i++ {
+			if f := s.free(i); f > bestFree {
+				best, bestFree = i, f
+			}
+		}
+		return best
+	case Predicted:
+		// Rank by the learner's forecast of free capacity next window;
+		// admission still requires a free core right now (the forecast
+		// chooses among servers, it cannot conjure cores).
+		best, bestFc := -1, 0
+		for i := 0; i < n; i++ {
+			fc := s.fleet.ForecastCores(i) - s.committed[i]
+			if fc >= 1 && s.free(i) >= 1 && fc > bestFc {
+				best, bestFc = i, fc
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+// tryPlace starts pending jobs while the policy finds room (FIFO).
+func (s *scheduler) tryPlace() {
+	for len(s.pending) > 0 {
+		target := s.pick()
+		if target < 0 {
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.start(j, target)
+	}
+}
+
+func (s *scheduler) start(j *job, server int) {
+	now := s.loop.Now()
+	harvest := s.fleet.HarvestedCores(server)
+	grant := harvest - s.committed[server]
+	if grant > j.spec.Width {
+		grant = j.spec.Width
+	}
+	j.state = stateRunning
+	j.server = server
+	j.grant = grant
+	if s.obs != nil {
+		s.obs.OnJobStart(obs.JobStart{
+			At: now, Job: j.name, Server: server, Grant: grant,
+			Harvest: harvest, Attempt: j.evictions + 1, Remaining: j.remaining(),
+		})
+	}
+	s.committed[server] += grant
+	vm := s.fleet.AddJobVM(server, fmt.Sprintf("%s-a%d", j.name, j.evictions+1), grant)
+	j.vm = vm
+	j.app = apps.NewFiniteWork(s.loop, vm, j.remaining(), func() {
+		// Defer completion out of the hypervisor's dispatch path: the
+		// callback fires inside the guest-work completion, where tearing
+		// the VM down and placing successors is not re-entrant-safe.
+		s.loop.After(0, func() { s.complete(j) })
+	})
+	j.app.Start()
+	s.running[server] = append(s.running[server], j)
+}
+
+// detach removes j from its server's running list and returns its cores.
+func (s *scheduler) detach(j *job) {
+	rs := s.running[j.server]
+	for i, r := range rs {
+		if r == j {
+			s.running[j.server] = append(rs[:i], rs[i+1:]...)
+			break
+		}
+	}
+	s.committed[j.server] -= j.grant
+	if s.committed[j.server] < 0 {
+		s.committed[j.server] = 0
+	}
+}
+
+func (s *scheduler) complete(j *job) {
+	if j.state != stateRunning || !j.app.Done() {
+		return // evicted between the callback and this deferred event
+	}
+	now := s.loop.Now()
+	j.progress = j.spec.Work
+	j.state = stateDone
+	j.doneAt = now
+	s.detach(j)
+	s.fleet.RemoveJobVM(j.server, j.vm)
+	if s.obs != nil {
+		s.obs.OnJobComplete(obs.JobComplete{
+			At: now, Job: j.name, Server: j.server,
+			Elapsed: now - j.submitAt, Evictions: j.evictions,
+		})
+	}
+	if j.deadline != 0 && now > j.deadline {
+		j.sloMissed = true
+		if s.obs != nil {
+			s.obs.OnJobSLOMiss(obs.JobSLOMiss{
+				At: now, Job: j.name, Deadline: j.deadline, Late: now - j.deadline,
+			})
+		}
+	}
+	s.tryPlace()
+}
+
+// reconcile evicts jobs from servers whose harvest collapsed below their
+// commitments, requeues the survivors' remainders, and places whatever
+// now fits.
+func (s *scheduler) reconcile() {
+	for i := range s.running {
+		h := s.fleet.HarvestedCores(i)
+		// Evict newest-first: the most recently placed jobs have the
+		// least progress to protect.
+		for s.committed[i] > h {
+			victim := s.newestVictim(i)
+			if victim == nil {
+				break
+			}
+			s.evict(victim)
+		}
+	}
+	s.tryPlace()
+}
+
+// newestVictim returns server i's most recently placed evictable job
+// (jobs whose work already completed are finalizing, not evictable).
+func (s *scheduler) newestVictim(i int) *job {
+	rs := s.running[i]
+	for k := len(rs) - 1; k >= 0; k-- {
+		if !rs[k].app.Done() {
+			return rs[k]
+		}
+	}
+	return nil
+}
+
+func (s *scheduler) evict(j *job) {
+	now := s.loop.Now()
+	// Checkpoint: completed chunks survive; in-flight work is forfeited
+	// and re-run later, never double-counted.
+	j.progress += j.app.Stop()
+	if j.progress > j.spec.Work {
+		j.progress = j.spec.Work
+	}
+	j.evictions++
+	s.res.Evictions++
+	final := j.evictions > s.cfg.MaxRequeues
+	if s.obs != nil {
+		s.obs.OnJobEvict(obs.JobEvict{
+			At: now, Job: j.name, Server: j.server,
+			Progress: j.progress, Evictions: j.evictions, Final: final,
+		})
+	}
+	s.detach(j)
+	s.fleet.RemoveJobVM(j.server, j.vm)
+	j.app = nil
+	j.grant = 0
+	if final {
+		j.state = stateAbandoned
+		s.res.Abandoned++
+		return
+	}
+	j.state = statePending
+	s.res.Requeues++
+	if s.obs != nil {
+		s.obs.OnJobRequeue(obs.JobRequeue{
+			At: now, Job: j.name, Evictions: j.evictions, Remaining: j.remaining(),
+		})
+	}
+	s.pending = append(s.pending, j)
+}
+
+// finalize computes job-level statistics once the run has ended.
+func (s *scheduler) finalize() {
+	end := s.loop.Now()
+	var elapsed []int64
+	for _, j := range s.all {
+		switch j.state {
+		case stateDone:
+			s.res.Completed++
+			elapsed = append(elapsed, int64(j.doneAt-j.submitAt))
+			s.res.GoodputCoreSec += j.spec.Work.Seconds()
+		case stateAbandoned:
+			// counted at eviction time
+		default:
+			s.res.Unfinished++
+		}
+		if j.deadline == 0 {
+			continue
+		}
+		switch {
+		case j.state == stateDone:
+			s.res.SLOJobs++
+			if !j.sloMissed {
+				s.res.SLOMet++
+			}
+		case j.deadline < end:
+			// Deadline passed without completion: a decided miss. Jobs
+			// whose deadline is still ahead at the end are censored.
+			s.res.SLOJobs++
+			if s.obs != nil {
+				s.obs.OnJobSLOMiss(obs.JobSLOMiss{
+					At: end, Job: j.name, Deadline: j.deadline, Late: end - j.deadline,
+				})
+			}
+		}
+	}
+	if len(elapsed) > 0 {
+		s.res.CompletionP50 = sim.Time(metrics.ExactQuantile(elapsed, 0.50))
+		s.res.CompletionP99 = sim.Time(metrics.ExactQuantile(elapsed, 0.99))
+	}
+}

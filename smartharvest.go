@@ -84,6 +84,7 @@ const (
 	BatchCPUBully  = harness.BatchCPUBully
 	BatchHDInsight = harness.BatchHDInsight
 	BatchTeraSort  = harness.BatchTeraSort
+	BatchFinite    = harness.BatchFinite
 	BatchNone      = harness.BatchNone
 )
 
