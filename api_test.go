@@ -1,6 +1,8 @@
 package smartharvest_test
 
 import (
+	"errors"
+
 	"testing"
 
 	"smartharvest"
@@ -108,5 +110,64 @@ func TestChurnViaFacade(t *testing.T) {
 	}
 	if len(res.Primaries) != 2 {
 		t.Fatalf("primaries %d", len(res.Primaries))
+	}
+}
+
+// TestPredictorCatalog exercises every predictor kind through the
+// facade: name round-trip, WithPredictor selection, and an end-to-end
+// run per kind.
+func TestPredictorCatalog(t *testing.T) {
+	names := smartharvest.PredictorNames()
+	if len(names) < 6 {
+		t.Fatalf("predictor zoo has %d entries: %v", len(names), names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			kind, err := smartharvest.ParsePredictor(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind.String() != name {
+				t.Fatalf("ParsePredictor(%q).String() = %q", name, kind)
+			}
+			res, err := smartharvest.Run(smartharvest.Scenario{
+				Name:      "pred-" + name,
+				Primaries: []smartharvest.PrimarySpec{smartharvest.Memcached(20000)},
+				Duration:  2 * smartharvest.Second,
+				Warmup:    smartharvest.Second,
+				Seed:      5,
+			}, smartharvest.WithPredictor(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Policy != "smartharvest" {
+				t.Fatalf("policy %q", res.Policy)
+			}
+			if res.Windows == 0 {
+				t.Fatal("no learning windows")
+			}
+		})
+	}
+}
+
+// TestPredictorErrors pins the facade's predictor sentinels.
+func TestPredictorErrors(t *testing.T) {
+	if _, err := smartharvest.ParsePredictor("nope"); !errors.Is(err, smartharvest.ErrUnknownPredictor) {
+		t.Fatalf("ParsePredictor(nope) = %v", err)
+	}
+	_, err := smartharvest.Run(smartharvest.Scenario{
+		Name:       "pred-conflict",
+		Primaries:  []smartharvest.PrimarySpec{smartharvest.Memcached(20000)},
+		Controller: smartharvest.NewEWMA(0.3, 1),
+		Duration:   smartharvest.Second,
+		Seed:       5,
+	}, smartharvest.WithPredictor(smartharvest.PredictorMLP))
+	if !errors.Is(err, smartharvest.ErrPredictorConflict) {
+		t.Fatalf("conflicting scenario: %v", err)
+	}
+	var se *smartharvest.ScenarioError
+	if !errors.As(err, &se) || se.Field != "Predictor" {
+		t.Fatalf("want *ScenarioError on Predictor, got %v", err)
 	}
 }

@@ -31,6 +31,9 @@
 //	-check     attach the invariant checker (internal/check) to every
 //	           scenario run; any violation fails its experiment with the
 //	           checker's report, and a verification tally is printed
+//	-predictor swap the peak predictor on every smartharvest scenario
+//	           (csoaa, adagrad, ewma, periodic, mlp, ensemble); the
+//	           predictors experiment ignores this and always sweeps all
 //	-list      list experiment IDs and exit
 package main
 
@@ -69,6 +72,7 @@ func main() {
 	traceDir := flag.String("trace", "", "directory to write per-scenario JSONL event traces to")
 	checkRuns := flag.Bool("check", false, "verify safety invariants on every scenario run (fails the experiment on violation)")
 	faultsPlan := flag.String("faults", "", "fault plan for the sched experiment's fleet (key=value pairs, e.g. 'drop=0.01,stall=0.001')")
+	predictor := flag.String("predictor", "", "peak predictor for every smartharvest row: csoaa (default), adagrad, ewma, periodic, mlp, ensemble")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -97,6 +101,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Faults = plan
+	}
+	if *predictor != "" {
+		kind, err := harness.ParsePredictor(*predictor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Predictor = kind
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {

@@ -73,8 +73,11 @@ func parsePrimary(spec string) (smartharvest.PrimarySpec, error) {
 	}
 }
 
-func parsePolicy(spec string) (smartharvest.ControllerFactory, error) {
+func parsePolicy(spec, predictor string) (smartharvest.ControllerFactory, error) {
 	name, arg, _ := strings.Cut(spec, ":")
+	if predictor != "" && name != "smartharvest" {
+		return nil, fmt.Errorf("-predictor only applies to -policy smartharvest (got %q)", name)
+	}
 	n := 0
 	if arg != "" {
 		v, err := strconv.Atoi(arg)
@@ -85,7 +88,15 @@ func parsePolicy(spec string) (smartharvest.ControllerFactory, error) {
 	}
 	switch name {
 	case "smartharvest":
-		return smartharvest.NewSmartHarvest(smartharvest.SmartHarvestOptions{}), nil
+		kind := smartharvest.PredictorCSOAA
+		if predictor != "" {
+			k, err := smartharvest.ParsePredictor(predictor)
+			if err != nil {
+				return nil, err
+			}
+			kind = k
+		}
+		return smartharvest.NewSmartHarvestPredictor(kind, smartharvest.SmartHarvestOptions{}), nil
 	case "fixedbuffer":
 		if n == 0 {
 			n = 4
@@ -111,6 +122,8 @@ func main() {
 	var primaries primaryList
 	flag.Var(&primaries, "primary", "primary workload as name[:qps]; repeatable (default memcached:40000)")
 	policy := flag.String("policy", "smartharvest", "harvesting policy: smartharvest, fixedbuffer[:k], prevpeak[:n], ewma, noharvest")
+	predictor := flag.String("predictor", "", fmt.Sprintf("peak predictor for -policy smartharvest: %s (default csoaa)",
+		strings.Join(smartharvest.PredictorNames(), ", ")))
 	batch := flag.String("batch", "cpubully", "ElasticVM workload: cpubully, hdinsight, terasort, finite, none")
 	batchWork := flag.Duration("batch-work", 8*time.Second, "finite batch allotment in core-time (-batch finite)")
 	batchWidth := flag.Int("batch-width", 0, "finite batch parallelism cap in cores, 0 = all (-batch finite)")
@@ -141,7 +154,7 @@ func main() {
 		}
 		specs = append(specs, spec)
 	}
-	ctrl, err := parsePolicy(*policy)
+	ctrl, err := parsePolicy(*policy, *predictor)
 	if err != nil {
 		fail(err)
 	}

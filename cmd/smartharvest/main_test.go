@@ -55,7 +55,7 @@ func TestParsePolicy(t *testing.T) {
 		"noharvest":     "noharvest",
 	}
 	for in, want := range good {
-		f, err := parsePolicy(in)
+		f, err := parsePolicy(in, "")
 		if err != nil {
 			t.Errorf("parsePolicy(%q): %v", in, err)
 			continue
@@ -65,9 +65,28 @@ func TestParsePolicy(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"nope", "fixedbuffer:x"} {
-		if _, err := parsePolicy(bad); err == nil {
+		if _, err := parsePolicy(bad, ""); err == nil {
 			t.Errorf("parsePolicy(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParsePolicyPredictor(t *testing.T) {
+	for _, name := range smartharvest.PredictorNames() {
+		f, err := parsePolicy("smartharvest", name)
+		if err != nil {
+			t.Errorf("parsePolicy(smartharvest, %q): %v", name, err)
+			continue
+		}
+		if got := f(10).Name(); got != "smartharvest" {
+			t.Errorf("parsePolicy(smartharvest, %q) -> controller %q", name, got)
+		}
+	}
+	if _, err := parsePolicy("smartharvest", "nope"); err == nil {
+		t.Error("parsePolicy accepted an unknown predictor")
+	}
+	if _, err := parsePolicy("ewma", "mlp"); err == nil {
+		t.Error("parsePolicy accepted -predictor with a non-smartharvest policy")
 	}
 }
 

@@ -901,6 +901,13 @@ func (c *Checker) OnJobSLOMiss(e obs.JobSLOMiss) {
 	c.enter(obs.Record{Kind: obs.KindJobSLOMiss, JobSLOMiss: e}, e.At)
 }
 
+// OnPredictorInfo implements obs.Observer. Predictor identity carries no
+// invariant to check; it is recorded for the flight recorder only.
+func (c *Checker) OnPredictorInfo(e obs.PredictorInfo) {
+	c.ring.OnPredictorInfo(e)
+	c.enter(obs.Record{Kind: obs.KindPredictorInfo, PredictorInfo: e}, e.At)
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

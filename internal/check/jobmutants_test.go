@@ -275,7 +275,7 @@ func TestJobMutantProgressRegression(t *testing.T) {
 	})
 	c.OnJobEvict(obs.JobEvict{
 		At: 5 * sim.Second, Job: "j", Server: 0,
-		Progress: sim.Second, // regressed below the 2s checkpoint
+		Progress:  sim.Second, // regressed below the 2s checkpoint
 		Evictions: 2, Final: false,
 	})
 	wantViolation(t, c.Finish(), check.InvJobProgress)

@@ -468,5 +468,9 @@ func (c *JobChecker) OnDegradedExit(e obs.DegradedExit) {
 	c.ring.OnDegradedExit(e)
 	c.enter(obs.Record{Kind: obs.KindDegradedExit, DegradedExit: e}, e.At)
 }
+func (c *JobChecker) OnPredictorInfo(e obs.PredictorInfo) {
+	c.ring.OnPredictorInfo(e)
+	c.enter(obs.Record{Kind: obs.KindPredictorInfo, PredictorInfo: e}, e.At)
+}
 
 var _ obs.Observer = (*JobChecker)(nil)

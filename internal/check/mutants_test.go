@@ -77,6 +77,9 @@ func (r *recorder) OnJobComplete(e obs.JobComplete) {
 func (r *recorder) OnJobSLOMiss(e obs.JobSLOMiss) {
 	r.recs = append(r.recs, obs.Record{Kind: obs.KindJobSLOMiss, JobSLOMiss: e})
 }
+func (r *recorder) OnPredictorInfo(e obs.PredictorInfo) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPredictorInfo, PredictorInfo: e})
+}
 
 // replay feeds captured records into a checker as if the run were live.
 func replay(c *check.Checker, recs []obs.Record) *check.Report {

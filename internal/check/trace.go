@@ -61,9 +61,10 @@ var traceSchema = map[string]map[string]fieldKind{
 		"job": fStr, "server": fNum, "progress": fNum, "evictions": fNum,
 		"final": fBool,
 	},
-	obs.KindJobRequeue.String():  {"job": fStr, "evictions": fNum, "remaining": fNum},
-	obs.KindJobComplete.String(): {"job": fStr, "server": fNum, "elapsed": fNum, "evictions": fNum},
-	obs.KindJobSLOMiss.String():  {"job": fStr, "deadline": fNum, "late": fNum},
+	obs.KindJobRequeue.String():    {"job": fStr, "evictions": fNum, "remaining": fNum},
+	obs.KindJobComplete.String():   {"job": fStr, "server": fNum, "elapsed": fNum, "evictions": fNum},
+	obs.KindJobSLOMiss.String():    {"job": fStr, "deadline": fNum, "late": fNum},
+	obs.KindPredictorInfo.String(): {"name": fStr, "classes": fNum},
 }
 
 // validClamp is the closed set of clamp-reason strings a window decision

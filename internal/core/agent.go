@@ -81,7 +81,9 @@ type AgentFaults interface {
 
 // Checkpointer is implemented by controllers whose learner state can be
 // serialized and restored — the foundation of crash-restart recovery.
-// SmartHarvest implements it over the CSOAA model's Save/Load round-trip.
+// SmartHarvest implements it over the learner.Predictor checkpoint
+// round-trip, so every registered predictor (not just CSOAA) survives a
+// crash-restart with its learned state intact.
 type Checkpointer interface {
 	// Checkpoint serializes the controller's learner state.
 	Checkpoint() ([]byte, error)
@@ -94,6 +96,10 @@ type Checkpointer interface {
 
 // Window is what a Controller sees at a learning-window boundary.
 type Window struct {
+	// At is the virtual time of the window boundary. Time-aware
+	// predictors (e.g. the periodicity detector) key on it; zero in
+	// hand-built test windows is fine for time-free controllers.
+	At sim.Time
 	// Samples are the busy-core readings collected this window, oldest
 	// first. Never empty.
 	Samples []int
@@ -705,6 +711,7 @@ func (a *Agent) endWindow(safeguard bool, busy int) {
 	a.trimPeaks(now)
 
 	w := Window{
+		At:            now,
 		Samples:       a.samples,
 		Peak:          peak,
 		Peak1s:        a.peak1s(),

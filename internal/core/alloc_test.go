@@ -222,11 +222,31 @@ func TestCheckpointRestorePredictionsIdentical(t *testing.T) {
 		t.Fatal("garbage checkpoint accepted")
 	}
 
-	// Adaptive models cannot checkpoint (no SaveModel support); the
-	// agent's restart path falls back to Reset in that case.
+	// Adaptive models checkpoint through the Predictor round-trip (they
+	// still lack the host-agent SaveModel weight-file format, but the
+	// crash-restart path works).
 	d := NewSmartHarvest(10, SmartHarvestOptions{Adaptive: true})
-	if _, err := d.Checkpoint(); err == nil {
-		t.Fatal("adaptive checkpoint accepted")
+	for i := 0; i < w; i++ {
+		d.OnWindowEnd(window(i))
+	}
+	dsnap, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("adaptive checkpoint: %v", err)
+	}
+	e := NewSmartHarvest(10, SmartHarvestOptions{Adaptive: true})
+	if err := e.Restore(dsnap); err != nil {
+		t.Fatalf("adaptive restore: %v", err)
+	}
+	for i := w; i < 2*w; i++ {
+		gd, ge := d.OnWindowEnd(window(i)), e.OnWindowEnd(window(i))
+		if gd != ge {
+			t.Fatalf("adaptive window %d: restored decision %d != original %d", i+1, ge, gd)
+		}
+	}
+	// A checkpoint from one predictor cannot restore into another.
+	csoaaCtrl := NewSmartHarvest(10, SmartHarvestOptions{})
+	if err := csoaaCtrl.Restore(dsnap); err == nil {
+		t.Fatal("cross-predictor checkpoint accepted")
 	}
 	d.Reset()
 	if got := d.OnWindowEnd(window(0)); got < 1 || got > 10 {

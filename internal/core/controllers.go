@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -66,10 +65,9 @@ type SmartHarvest struct {
 	alloc  int
 	fe     *learner.FeatureExtractor
 	masked *learner.MaskedExtractor // nil = all five features
-	model  learner.Model
+	pred   learner.Predictor
 	cost   learner.CostFunc
 	mode   SafeguardMode
-	lr     float64
 
 	x, prevX []float64
 	costs    []float64
@@ -82,6 +80,7 @@ type SmartHarvest struct {
 // SmartHarvestOptions tunes the controller; zero values mean defaults.
 type SmartHarvestOptions struct {
 	// LearningRate defaults to 0.1 (VW's default, kept constant).
+	// Ignored when Predictor is set — the factory owns its step sizes.
 	LearningRate float64
 	// Cost defaults to the skewed cost with UnderPenalty = alloc.
 	Cost learner.CostFunc
@@ -94,8 +93,14 @@ type SmartHarvestOptions struct {
 	// Adaptive switches the per-class regressors to AdaGrad per-weight
 	// step sizes instead of the paper's constant rate. Converges faster
 	// on stationary workloads but responds slower to late behaviour
-	// changes; included for the predictor ablation.
+	// changes; included for the predictor ablation. Ignored when
+	// Predictor is set (use the "adagrad" registry factory instead).
 	Adaptive bool
+	// Predictor, when non-nil, supplies the peak predictor (typically a
+	// learner.Registry factory). Nil keeps the paper's default:
+	// constant-rate CSOAA (or AdaGrad when Adaptive is set), which stays
+	// byte-identical to the pre-interface controller.
+	Predictor learner.Factory
 }
 
 // NewSmartHarvest builds the controller for primary allocation `alloc`
@@ -111,17 +116,24 @@ func NewSmartHarvest(alloc int, opts SmartHarvestOptions) *SmartHarvest {
 		opts.Cost = learner.SkewedCost{UnderPenalty: float64(alloc)}
 	}
 	classes := alloc + 1
-	var model learner.Model = learner.NewCSOAA(classes, learner.NumFeatures, opts.LearningRate)
-	if opts.Adaptive {
-		model = learner.NewAdaptiveCSOAA(classes, learner.NumFeatures, opts.LearningRate)
+	var pred learner.Predictor
+	if opts.Predictor != nil {
+		pred = opts.Predictor(classes)
+		if pred.Classes() != classes {
+			panic(fmt.Sprintf("core: predictor %s built %d classes, want %d",
+				pred.Name(), pred.Classes(), classes))
+		}
+	} else if opts.Adaptive {
+		pred = learner.NewAdaGradPredictor(classes, learner.NumFeatures, opts.LearningRate)
+	} else {
+		pred = learner.NewCSOAAPredictor(classes, learner.NumFeatures, opts.LearningRate)
 	}
 	s := &SmartHarvest{
 		alloc: alloc,
 		fe:    learner.NewFeatureExtractor(alloc),
-		model: model,
+		pred:  pred,
 		cost:  opts.Cost,
 		mode:  opts.Safeguard,
-		lr:    opts.LearningRate,
 		x:     make([]float64, learner.NumFeatures),
 		prevX: make([]float64, learner.NumFeatures),
 		costs: make([]float64, classes),
@@ -131,7 +143,7 @@ func NewSmartHarvest(alloc int, opts SmartHarvestOptions) *SmartHarvest {
 	}
 	// Conservative prior: before any feedback, behave as if the peak is
 	// the full allocation, so the cold start cannot starve the primaries.
-	s.model.InitBias(learner.FillCosts(s.costs, s.cost, alloc))
+	s.pred.InitBias(learner.FillCosts(s.costs, s.cost, alloc))
 	return s
 }
 
@@ -150,8 +162,17 @@ func (s *SmartHarvest) Predictions() uint64 { return s.predictions }
 // TrainUpdates returns how many model updates have been applied.
 func (s *SmartHarvest) TrainUpdates() uint64 { return s.trainUpdates }
 
-// Model exposes the underlying classifier for diagnostics.
-func (s *SmartHarvest) Model() learner.Model { return s.model }
+// Predictor exposes the peak predictor for diagnostics.
+func (s *SmartHarvest) Predictor() learner.Predictor { return s.pred }
+
+// Model exposes the underlying classifier for diagnostics when the
+// predictor is CSOAA-family; other predictors return nil.
+func (s *SmartHarvest) Model() learner.Model {
+	if mp, ok := s.pred.(*learner.ModelPredictor); ok {
+		return mp.Model()
+	}
+	return nil
+}
 
 // OnWindowEnd implements Algorithm 1 lines 12-18. On a safeguard window
 // the model is neither trained nor re-featurized (the observed peak is
@@ -171,7 +192,7 @@ func (s *SmartHarvest) OnWindowEnd(w Window) int {
 		return t
 	}
 	if s.havePrev {
-		s.model.Update(s.prevX, learner.FillCosts(s.costs, s.cost, w.Peak))
+		s.pred.Update(int64(w.At), s.prevX, w.Peak, learner.FillCosts(s.costs, s.cost, w.Peak))
 		s.trainUpdates++
 	}
 	if s.masked != nil {
@@ -183,7 +204,7 @@ func (s *SmartHarvest) OnWindowEnd(w Window) int {
 	copy(s.prevX, s.x)
 	s.havePrev = true
 	s.predictions++
-	t := s.model.Predict(s.x)
+	t := s.pred.Predict(int64(w.At), s.x)
 	if t > s.alloc {
 		// Classes above the current allocation exist when the model was
 		// sized for a larger tenant mix (VM churn); they are not
@@ -373,9 +394,9 @@ func (n *NoHarvest) OnWindowEnd(w Window) int { return n.alloc }
 // is fixed); construct with the machine's maximum when VM churn is
 // expected.
 func (s *SmartHarvest) SetAlloc(alloc int) {
-	if alloc < 1 || alloc >= s.model.Classes() {
+	if alloc < 1 || alloc >= s.pred.Classes() {
 		panic(fmt.Sprintf("core: SmartHarvest SetAlloc(%d) outside [1, %d]",
-			alloc, s.model.Classes()-1))
+			alloc, s.pred.Classes()-1))
 	}
 	s.alloc = alloc
 	// Feature history from the old tenant mix describes a different
@@ -423,10 +444,15 @@ func (e *EWMAController) SetAlloc(alloc int) {
 }
 
 // SaveModel persists the learner's weights (constant-rate CSOAA models
-// only), so a restarted host agent resumes from what it learned instead
-// of the conservative prior.
+// only — the host-agent weight file format; other predictors persist via
+// Checkpoint), so a restarted host agent resumes from what it learned
+// instead of the conservative prior.
 func (s *SmartHarvest) SaveModel(w io.Writer) error {
-	m, ok := s.model.(*learner.CSOAA)
+	mp, ok := s.pred.(*learner.ModelPredictor)
+	if !ok {
+		return fmt.Errorf("core: model type does not support persistence")
+	}
+	m, ok := mp.Model().(*learner.CSOAA)
 	if !ok {
 		return fmt.Errorf("core: model type does not support persistence")
 	}
@@ -440,39 +466,44 @@ func (s *SmartHarvest) LoadModel(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if m.Classes() != s.model.Classes() {
+	if m.Classes() != s.pred.Classes() {
 		return fmt.Errorf("core: saved model has %d classes, want %d",
-			m.Classes(), s.model.Classes())
+			m.Classes(), s.pred.Classes())
 	}
-	s.model = m
+	s.pred = learner.WrapModel(m)
 	s.havePrev = false
 	return nil
 }
 
-// checkpoint is the serialized crash-recovery state: the model weights
-// via the CSOAA serialize round-trip, plus the train-on-previous-features
-// pipeline state (prevX/havePrev) so a restored controller makes
-// byte-identical predictions from the next window on.
+// checkpoint is the serialized crash-recovery state: the predictor's own
+// checkpoint payload tagged with its name, plus the
+// train-on-previous-features pipeline state (prevX/havePrev) so a
+// restored controller makes byte-identical predictions from the next
+// window on.
 type checkpoint struct {
-	Model    []byte    `json:"model"`
-	PrevX    []float64 `json:"prev_x"`
-	HavePrev bool      `json:"have_prev"`
+	Predictor string    `json:"predictor,omitempty"`
+	Model     []byte    `json:"model"`
+	PrevX     []float64 `json:"prev_x"`
+	HavePrev  bool      `json:"have_prev"`
 }
 
 // Checkpoint implements Checkpointer.
 func (s *SmartHarvest) Checkpoint() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := s.SaveModel(&buf); err != nil {
+	data, err := s.pred.Checkpoint()
+	if err != nil {
 		return nil, err
 	}
 	return json.Marshal(checkpoint{
-		Model:    buf.Bytes(),
-		PrevX:    s.prevX,
-		HavePrev: s.havePrev,
+		Predictor: s.pred.Name(),
+		Model:     data,
+		PrevX:     s.prevX,
+		HavePrev:  s.havePrev,
 	})
 }
 
-// Restore implements Checkpointer.
+// Restore implements Checkpointer. The checkpoint must come from a
+// controller running the same predictor; checkpoints from before the
+// predictor tag existed (always CSOAA) are still accepted.
 func (s *SmartHarvest) Restore(data []byte) error {
 	var cp checkpoint
 	if err := json.Unmarshal(data, &cp); err != nil {
@@ -482,7 +513,11 @@ func (s *SmartHarvest) Restore(data []byte) error {
 		return fmt.Errorf("core: checkpoint has %d features, want %d",
 			len(cp.PrevX), learner.NumFeatures)
 	}
-	if err := s.LoadModel(bytes.NewReader(cp.Model)); err != nil {
+	if cp.Predictor != "" && cp.Predictor != s.pred.Name() {
+		return fmt.Errorf("core: checkpoint is for predictor %q, controller runs %q",
+			cp.Predictor, s.pred.Name())
+	}
+	if err := s.pred.Restore(cp.Model); err != nil {
 		return err
 	}
 	copy(s.prevX, cp.PrevX)
@@ -493,12 +528,7 @@ func (s *SmartHarvest) Restore(data []byte) error {
 // Reset implements Checkpointer: back to the conservative prior, as a
 // restarted agent with no usable checkpoint would come up.
 func (s *SmartHarvest) Reset() {
-	classes := s.model.Classes()
-	var model learner.Model = learner.NewCSOAA(classes, learner.NumFeatures, s.lr)
-	if _, adaptive := s.model.(*learner.AdaptiveCSOAA); adaptive {
-		model = learner.NewAdaptiveCSOAA(classes, learner.NumFeatures, s.lr)
-	}
-	s.model = model
-	s.model.InitBias(learner.FillCosts(s.costs, s.cost, classes-1))
+	s.pred.Reset()
+	s.pred.InitBias(learner.FillCosts(s.costs, s.cost, s.pred.Classes()-1))
 	s.havePrev = false
 }

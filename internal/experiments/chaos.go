@@ -43,7 +43,7 @@ func Chaos(cfg Config) (*Report, error) {
 	base := chaosBasePlan()
 	scens := make([]harness.Scenario, len(intensities))
 	for i, in := range intensities {
-		s := scenario(cfg, "chaos-"+in.name, apps.Memcached(40000), smartharvest())
+		s := scenario(cfg, "chaos-"+in.name, apps.Memcached(40000), smartharvest(cfg))
 		s.Faults = base.Scale(in.scale)
 		scens[i] = s
 	}

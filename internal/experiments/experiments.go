@@ -56,6 +56,13 @@ type Config struct {
 	// fleet (every server), composing the job schedulers with degraded
 	// agents. Experiments that own their fault plans (chaos) ignore it.
 	Faults faults.Plan
+	// Predictor selects the peak predictor every "smartharvest" row runs
+	// with (harness.PredictorKind names). The zero value is the paper's
+	// CSOAA learner, which keeps default reports byte-identical.
+	// Experiments that sweep predictor-adjacent options themselves
+	// (fig10's safeguards, fig13's costs, table3/ablation's learner
+	// comparison) keep their explicit configurations.
+	Predictor harness.PredictorKind
 }
 
 // checkedRuns and checkViolations tally invariant-checked scenario runs
@@ -134,7 +141,10 @@ func runTraced(cfg Config, scenarios []harness.Scenario) ([]*harness.Result, err
 		}
 		files[i] = f
 		sinks[i] = obs.NewJSONL(f, obs.JSONLOmitPolls())
-		scenarios[i].Observer = sinks[i]
+		// Chain rather than replace: experiments that attach their own
+		// per-scenario observer (the predictor ablation's accuracy
+		// tracker) keep receiving events alongside the trace sink.
+		scenarios[i].Observer = obs.Multi(scenarios[i].Observer, sinks[i])
 	}
 	results, err := harness.RunAll(scenarios, harness.Parallelism(cfg.Parallel))
 	errs := []error{err}
@@ -227,6 +237,7 @@ func All() []struct {
 		{"guard-sweep", SafeguardSweep},
 		{"memharvest", MemHarvest},
 		{"chaos", Chaos},
+		{"predictors", Predictors},
 	}
 }
 
@@ -296,8 +307,10 @@ func scenario(cfg Config, name string, spec apps.PrimarySpec, ctrl harness.Contr
 	}
 }
 
-func smartharvest() harness.ControllerFactory {
-	return harness.SmartHarvestFactory(core.SmartHarvestOptions{})
+// smartharvest builds the standard SmartHarvest controller row, running
+// whichever predictor cfg selects (default: the paper's CSOAA).
+func smartharvest(cfg Config) harness.ControllerFactory {
+	return harness.SmartHarvestPredictorFactory(cfg.Predictor, core.SmartHarvestOptions{})
 }
 
 // policyRow pairs a display name with a controller factory; every sweep
@@ -347,7 +360,7 @@ func Fig4(cfg Config) (*Report, error) {
 		scenario(cfg, "fig4-base", apps.Memcached(40000), harness.NoHarvestFactory()),
 	}
 	for _, w := range windows {
-		s := scenario(cfg, "fig4-w", apps.Memcached(40000), smartharvest())
+		s := scenario(cfg, "fig4-w", apps.Memcached(40000), smartharvest(cfg))
 		s.Window = w
 		scens = append(scens, s)
 	}
@@ -396,7 +409,7 @@ func Fig5(cfg Config) (*Report, error) {
 		blk := block{spec: spec, base: len(scens)}
 		scens = append(scens, scenario(cfg, "fig5-base", spec, harness.NoHarvestFactory()))
 		blk.rows = []policyRow{
-			{"smartharvest", smartharvest()},
+			{"smartharvest", smartharvest(cfg)},
 			{"prevpeak", harness.PrevPeakFactory(1, false)},
 		}
 		for _, k := range fig5Buffers[spec.Name] {
@@ -460,7 +473,7 @@ func Fig6(cfg Config) (*Report, error) {
 	spec := apps.IndexServe(500)
 	batches := []harness.BatchKind{harness.BatchHDInsight, harness.BatchTeraSort}
 	rows := []policyRow{
-		{"smartharvest", smartharvest()},
+		{"smartharvest", smartharvest(cfg)},
 		{"prevpeak", harness.PrevPeakFactory(1, false)},
 		{"fixedbuffer-7", harness.FixedBufferFactory(7)},
 		{"fixedbuffer-4", harness.FixedBufferFactory(4)},
@@ -533,7 +546,7 @@ func Table2(cfg Config) (*Report, error) {
 	}
 	rows := []policyRow{
 		{"noharvest", harness.NoHarvestFactory()},
-		{"smartharvest", smartharvest()},
+		{"smartharvest", smartharvest(cfg)},
 		{"prevpeak", harness.PrevPeakFactory(1, false)},
 		{"fixedbuffer-5", harness.FixedBufferFactory(5)},
 		{"fixedbuffer-6", harness.FixedBufferFactory(6)},
@@ -575,7 +588,7 @@ func Fig7(cfg Config) (*Report, error) {
 	spec := apps.SquareWave(8, 1, 500*sim.Millisecond)
 	rows := []policyRow{
 		{"prevpeak10", harness.PrevPeakFactory(10, true)},
-		{"smartharvest", smartharvest()},
+		{"smartharvest", smartharvest(cfg)},
 	}
 	scens := []harness.Scenario{
 		scenario(cfg, "fig7-base", spec, harness.NoHarvestFactory()),
@@ -653,7 +666,7 @@ func multiPrimary(cfg Config, id, title string, primaries []apps.PrimarySpec, bu
 			LongTermSafeguard: true,
 		}
 	}
-	rows := []policyRow{{"smartharvest", smartharvest()}}
+	rows := []policyRow{{"smartharvest", smartharvest(cfg)}}
 	for _, k := range buffers {
 		rows = append(rows, policyRow{fmt.Sprintf("fixedbuffer-%d", k), harness.FixedBufferFactory(k)})
 	}
@@ -736,7 +749,7 @@ func Fig11(cfg Config) (*Report, error) {
 	}
 	scens := []harness.Scenario{mk("fig11-base", harness.NoHarvestFactory(), false)}
 	for _, rw := range rows {
-		scens = append(scens, mk("fig11-"+rw.name, smartharvest(), rw.guard))
+		scens = append(scens, mk("fig11-"+rw.name, smartharvest(cfg), rw.guard))
 	}
 	results, err := runAll(cfg, scens)
 	if err != nil {
@@ -808,7 +821,7 @@ func Fig14(cfg Config) (*Report, error) {
 	}{{"cpugroups", 0}, {"ipis", 1}}
 	scens := make([]harness.Scenario, len(mechs))
 	for i, mech := range mechs {
-		s := scenario(cfg, "fig14-"+mech.name, apps.Memcached(40000), smartharvest())
+		s := scenario(cfg, "fig14-"+mech.name, apps.Memcached(40000), smartharvest(cfg))
 		s.Mechanism = hvMechanism(mech.m)
 		scens[i] = s
 	}
@@ -849,7 +862,7 @@ func Fig14(cfg Config) (*Report, error) {
 func Fig15(cfg Config) (*Report, error) {
 	loads := []float64{500, 1000, 1500, 2000}
 	rows := []policyRow{
-		{"smartharvest", smartharvest()},
+		{"smartharvest", smartharvest(cfg)},
 		{"fixedbuffer-6", harness.FixedBufferFactory(6)},
 		{"fixedbuffer-4", harness.FixedBufferFactory(4)},
 		{"fixedbuffer-2", harness.FixedBufferFactory(2)},

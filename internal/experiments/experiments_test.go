@@ -334,3 +334,53 @@ func TestSchedDeterminismAcrossParallelism(t *testing.T) {
 			serial, parallel)
 	}
 }
+
+func TestPredictorsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	cfg := Quick()
+	cfg.Duration = 4_000_000_000 // 18 scenarios; 4 simulated seconds keeps this test quick
+	rep, err := Predictors(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"periodic", "bursty", "mixed"} {
+		if !strings.Contains(rep.String(), "class "+class) {
+			t.Errorf("predictors report missing class %s", class)
+		}
+	}
+	for _, pred := range []string{"csoaa", "adagrad", "ewma", "mlp", "ensemble"} {
+		if !strings.Contains(rep.String(), pred) {
+			t.Errorf("predictors report missing predictor %s", pred)
+		}
+	}
+}
+
+// TestPredictorsDeterminismAcrossParallelism pins the ablation report to
+// be byte-identical whether its 21 scenarios run serially or on a 4-way
+// worker pool — every zoo predictor's RNG use must stay run-local.
+func TestPredictorsDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Duration = 2_000_000_000 // 2 simulated seconds keeps this test quick
+
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	serial, err := Predictors(serialCfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallelCfg := cfg
+	parallelCfg.Parallel = 4
+	parallel, err := Predictors(parallelCfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("predictors report differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

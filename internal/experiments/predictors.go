@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smartharvest/internal/apps"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sim"
+	"smartharvest/internal/workload"
+)
+
+// predictorKinds is the ablation's predictor axis: the paper's CSOAA
+// plus every zoo competitor (adagrad is CSOAA's adaptive-step variant).
+func predictorKinds() []harness.PredictorKind {
+	return []harness.PredictorKind{
+		harness.PredictorCSOAA,
+		harness.PredictorAdaGrad,
+		harness.PredictorEWMA,
+		harness.PredictorPeriodic,
+		harness.PredictorMLP,
+		harness.PredictorEnsemble,
+	}
+}
+
+// predictorClasses is the workload axis: the characterization classes
+// with non-trivial structure (flat is covered by every other experiment's
+// stationary workloads).
+func predictorClasses() []workload.Class {
+	return []workload.Class{workload.ClassPeriodic, workload.ClassBursty, workload.ClassMixed}
+}
+
+// accuracyObs scores next-window peak predictions against realized
+// peaks by pairing consecutive WindowEnd events: the controller's raw
+// Prediction at the end of window i targets window i+1, whose realized
+// peak is the next event's Features.Max. Safeguard-truncated windows are
+// skipped on either side (their peaks are censored by the early cut).
+// One instance serves exactly one scenario, so no locking is needed even
+// on a parallel worker pool.
+type accuracyObs struct {
+	obs.NopObserver
+	warmup sim.Time
+
+	havePrev  bool
+	prevPred  int
+	prevGuard bool
+
+	n      int   // scored window pairs
+	absErr int64 // sum of |prediction - realized peak|
+	under  int   // predictions strictly below the realized peak
+}
+
+func (a *accuracyObs) OnWindowEnd(e obs.WindowEnd) {
+	if e.At >= a.warmup && a.havePrev && !a.prevGuard && !e.Safeguard {
+		d := a.prevPred - e.Features.Max
+		if d < 0 {
+			a.under++
+			d = -d
+		}
+		a.absErr += int64(d)
+		a.n++
+	}
+	a.havePrev = true
+	a.prevPred = e.Prediction
+	a.prevGuard = e.Safeguard
+}
+
+// meanAbsErr returns the mean absolute prediction error in cores.
+func (a *accuracyObs) meanAbsErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return float64(a.absErr) / float64(a.n)
+}
+
+// underFrac returns the fraction of scored predictions that came in
+// below the realized peak (the dangerous direction).
+func (a *accuracyObs) underFrac() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return float64(a.under) / float64(a.n)
+}
+
+// Predictors is the predictor-ablation experiment: every registered
+// predictor against every workload-characterization class, reporting
+// prediction accuracy, safeguard-trigger rate, harvested core-seconds,
+// and the P99 cost against a no-harvest baseline per class. Scenarios
+// select predictors through the public Scenario.Predictor path, so this
+// doubles as an end-to-end exercise of the registry plumbing.
+func Predictors(cfg Config) (*Report, error) {
+	const (
+		charQPS = 30000 // per VM; 57 µs service → ~1.7 avg busy cores
+		charVMs = 2     // two primaries make Correlation observable
+	)
+	classes := predictorClasses()
+	kinds := predictorKinds()
+
+	type block struct {
+		class workload.Class
+		base  int   // no-harvest baseline scenario index
+		idx   []int // per predictor kind
+	}
+	var (
+		scens  []harness.Scenario
+		accs   []*accuracyObs // parallel to scens; nil for baselines
+		blocks []block
+	)
+	mk := func(class workload.Class, name string) harness.Scenario {
+		return harness.Scenario{
+			Name: name,
+			// Per-class seed: every VM mix is its own draw, but the same
+			// class mix is bit-identical across predictor rows.
+			Primaries: apps.CharacterizedMix(cfg.Seed^uint64(class+1), charVMs, class, charQPS),
+			Batch:     harness.BatchCPUBully,
+			Duration:  cfg.Duration,
+			Warmup:    cfg.Warmup,
+			Seed:      cfg.Seed,
+		}
+	}
+	for _, class := range classes {
+		blk := block{class: class, base: len(scens)}
+		base := mk(class, fmt.Sprintf("pred-%v-base", class))
+		base.Controller = harness.NoHarvestFactory()
+		scens = append(scens, base)
+		accs = append(accs, nil)
+		for _, kind := range kinds {
+			s := mk(class, fmt.Sprintf("pred-%v-%v", class, kind))
+			s.Predictor = kind // Controller stays nil: the public default path
+			acc := &accuracyObs{warmup: cfg.Warmup}
+			s.Observer = acc
+			blk.idx = append(blk.idx, len(scens))
+			scens = append(scens, s)
+			accs = append(accs, acc)
+		}
+		blocks = append(blocks, blk)
+	}
+
+	results, err := runAll(cfg, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "predictors", Title: "predictor zoo across workload-characterization classes"}
+	for _, blk := range blocks {
+		base := results[blk.base]
+		r.addf("--- class %v (%d VMs x %d qps), no-harvest P99 = %s ---",
+			blk.class, charVMs, charQPS, ms(base.P99(0)))
+		r.addf("%-12s %8s %8s %9s %10s %10s %8s", "predictor",
+			"|err|", "under%", "sg-rate", "harv-cs", "P99", "vs base")
+		for i, kind := range kinds {
+			res := results[blk.idx[i]]
+			acc := accs[blk.idx[i]]
+			sgRate := 0.0
+			if res.Windows > 0 {
+				sgRate = float64(res.Safeguards) / float64(res.Windows)
+			}
+			harvestedCS := res.AvgHarvestedCores * cfg.Duration.Seconds()
+			r.addf("%-12v %8.2f %7.0f%% %9.3f %10.1f %10s %8s",
+				kind, acc.meanAbsErr(), 100*acc.underFrac(), sgRate,
+				harvestedCS, ms(res.P99(0)), pct(res.P99(0), base.P99(0)))
+		}
+	}
+	return r, nil
+}

@@ -79,7 +79,7 @@ func Ablations(cfg Config) (*Report, error) {
 	spec := apps.Memcached(40000)
 
 	preds := []policyRow{
-		{"csoaa (paper)", smartharvest()},
+		{"csoaa (paper)", smartharvest(cfg)},
 		{"csoaa adagrad", harness.SmartHarvestFactory(core.SmartHarvestOptions{Adaptive: true})},
 		{"ewma a=0.3 m=1", harness.EWMAFactory(0.3, 1)},
 		{"ewma a=0.1 m=2", harness.EWMAFactory(0.1, 2)},
@@ -110,7 +110,7 @@ func Ablations(cfg Config) (*Report, error) {
 		scens = append(scens, scenario(cfg, "abl-feat-"+featureLabel(fs), spec, f))
 	}
 	for _, us := range polls {
-		s := scenario(cfg, fmt.Sprintf("abl-poll-%d", us), spec, smartharvest())
+		s := scenario(cfg, fmt.Sprintf("abl-poll-%d", us), spec, smartharvest(cfg))
 		s.PollInterval = sim.Time(us) * sim.Microsecond
 		scens = append(scens, s)
 	}
@@ -179,7 +179,7 @@ func Churn(cfg Config) (*Report, error) {
 		Name:              "churn",
 		Primaries:         []apps.PrimarySpec{apps.Memcached(40000)},
 		Batch:             harness.BatchCPUBully,
-		Controller:        smartharvest(),
+		Controller:        smartharvest(cfg),
 		Duration:          cfg.Duration,
 		Warmup:            cfg.Warmup,
 		Seed:              cfg.Seed,
@@ -226,7 +226,7 @@ func Fleet(cfg Config) (*Report, error) {
 		f    harness.ControllerFactory
 	}{
 		{"unallocated-only", harness.NoHarvestFactory()},
-		{"smartharvest", smartharvest()},
+		{"smartharvest", smartharvest(cfg)},
 	} {
 		res, err := cluster.Run(cluster.Config{
 			Servers:      8,
@@ -290,9 +290,9 @@ func SafeguardSweep(cfg Config) (*Report, error) {
 			}
 		}
 		scens = append(scens, mk(0, 0, false, harness.NoHarvestFactory()))
-		scens = append(scens, mk(0, 0, false, smartharvest()))
+		scens = append(scens, mk(0, 0, false, smartharvest(cfg)))
 		for _, c := range criteria {
-			scens = append(scens, mk(c.thresh, c.frac, true, smartharvest()))
+			scens = append(scens, mk(c.thresh, c.frac, true, smartharvest(cfg)))
 		}
 	}
 	results, err := runAll(cfg, scens)

@@ -117,6 +117,13 @@ type Scenario struct {
 	Mechanism hypervisor.Mechanism
 	// Controller builds the policy (default SmartHarvest).
 	Controller ControllerFactory
+	// Predictor selects the SmartHarvest peak predictor for the default
+	// controller (default CSOAA, the paper's learner). Setting it
+	// together with an explicit Controller is rejected
+	// (ErrPredictorConflict): the predictor rides inside the default
+	// SmartHarvest controller, so an explicit factory would silently
+	// ignore it. Use SmartHarvestPredictorFactory to combine the two.
+	Predictor PredictorKind
 	// Duration is the measured run length (default 20 s simulated).
 	Duration sim.Time
 	// Warmup precedes Duration; latencies and harvest averages exclude
@@ -180,6 +187,12 @@ func WithObserver(o obs.Observer) ScenarioOption {
 // WithSeed overrides the scenario's seed.
 func WithSeed(seed uint64) ScenarioOption {
 	return func(s *Scenario) { s.Seed = seed }
+}
+
+// WithPredictor selects the SmartHarvest peak predictor for the run (see
+// Scenario.Predictor).
+func WithPredictor(p PredictorKind) ScenarioOption {
+	return func(s *Scenario) { s.Predictor = p }
 }
 
 // WithDuration overrides the measured run length.
@@ -338,8 +351,14 @@ func (s *Scenario) applyDefaults() {
 		s.Seed = 1
 	}
 	if s.Controller == nil {
+		// The factory is nil for the default CSOAA kind, which routes
+		// core.NewSmartHarvest down its legacy construction path and keeps
+		// default runs byte-identical to pre-Predictor-API builds. The
+		// closure defers factory resolution until after validate has
+		// rejected out-of-range kinds.
+		pred := s.Predictor
 		s.Controller = func(alloc int) core.Controller {
-			return core.NewSmartHarvest(alloc, core.SmartHarvestOptions{})
+			return core.NewSmartHarvest(alloc, core.SmartHarvestOptions{Predictor: pred.factory()})
 		}
 		s.LongTermSafeguard = true
 	}
@@ -372,6 +391,9 @@ func (s *Scenario) validate() error {
 	}
 	if s.Batch < BatchCPUBully || s.Batch > BatchNone {
 		return s.scenarioErr("Batch", ErrUnknownBatch, "BatchKind(%d)", int(s.Batch))
+	}
+	if !s.Predictor.valid() {
+		return s.scenarioErr("Predictor", ErrUnknownPredictor, "PredictorKind(%d)", int(s.Predictor))
 	}
 	if s.BatchWork < 0 || s.BatchWidth < 0 {
 		return s.scenarioErr("BatchWork/BatchWidth", ErrUnknownBatch,
@@ -421,6 +443,12 @@ func (s *Scenario) maxConcurrentAlloc() (int, error) {
 func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	for _, opt := range opts {
 		opt(&s)
+	}
+	// The conflict is only detectable before applyDefaults installs the
+	// default controller.
+	if s.Controller != nil && s.Predictor != PredictorCSOAA {
+		return nil, s.scenarioErr("Predictor", ErrPredictorConflict,
+			"Controller set with Predictor=%s; use SmartHarvestPredictorFactory", s.Predictor)
 	}
 	s.applyDefaults()
 	if err := s.validate(); err != nil {
@@ -481,6 +509,15 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 		s.Observer = obs.Multi(s.Observer, s.Checker)
 	}
 	agentCfg.Observer = s.Observer
+	// Announce the predictor identity at the head of the trace — but only
+	// for non-default selections, so default CSOAA traces stay
+	// byte-identical to pre-Predictor-API builds.
+	if s.Predictor != PredictorCSOAA && s.Observer != nil {
+		s.Observer.OnPredictorInfo(obs.PredictorInfo{
+			Name:    s.Predictor.String(),
+			Classes: maxAlloc + 1,
+		})
+	}
 
 	hvCfg := hypervisor.DefaultConfig(total)
 	hvCfg.Mechanism = s.Mechanism

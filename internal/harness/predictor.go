@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+
+	"smartharvest/internal/core"
+	"smartharvest/internal/learner"
+)
+
+// PredictorKind selects the SmartHarvest peak predictor, mirroring how
+// Mechanism and BatchKind select the reassignment mechanism and batch
+// workload. The zero value is the paper's CSOAA learner, so existing
+// scenarios are untouched.
+type PredictorKind int
+
+const (
+	// PredictorCSOAA is the paper's default: constant-rate cost-sensitive
+	// one-against-all over the five window features.
+	PredictorCSOAA PredictorKind = iota
+	// PredictorAdaGrad is CSOAA with per-weight adaptive step sizes.
+	PredictorAdaGrad
+	// PredictorEWMA is the smoothed-recent-peak baseline.
+	PredictorEWMA
+	// PredictorPeriodic detects per-VM periodic load patterns and
+	// predicts from a phase-bucketed peak profile.
+	PredictorPeriodic
+	// PredictorMLP is a small online-gradient neural predictor (one tanh
+	// hidden layer over the window features).
+	PredictorMLP
+	// PredictorEnsemble picks the best of {EWMA, CSOAA, Periodic, MLP}
+	// by decayed realized cost, falling back to EWMA when every member's
+	// regret explodes.
+	PredictorEnsemble
+)
+
+// predictorNames maps each kind to its learner-registry name.
+var predictorNames = map[PredictorKind]string{
+	PredictorCSOAA:    "csoaa",
+	PredictorAdaGrad:  "adagrad",
+	PredictorEWMA:     "ewma",
+	PredictorPeriodic: "periodic",
+	PredictorMLP:      "mlp",
+	PredictorEnsemble: "ensemble",
+}
+
+func (p PredictorKind) String() string {
+	if name, ok := predictorNames[p]; ok {
+		return name
+	}
+	return fmt.Sprintf("PredictorKind(%d)", int(p))
+}
+
+// valid reports whether p is a declared kind.
+func (p PredictorKind) valid() bool {
+	_, ok := predictorNames[p]
+	return ok
+}
+
+// ParsePredictor is the inverse of String. Unknown names return an error
+// wrapping ErrUnknownPredictor, testable with errors.Is.
+func ParsePredictor(s string) (PredictorKind, error) {
+	for kind, name := range predictorNames {
+		if name == s {
+			return kind, nil
+		}
+	}
+	return 0, fmt.Errorf("harness: %w %q (want one of %v)", ErrUnknownPredictor, s, learner.Names())
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p PredictorKind) MarshalText() ([]byte, error) {
+	if !p.valid() {
+		return nil, fmt.Errorf("harness: cannot marshal %s", p)
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *PredictorKind) UnmarshalText(text []byte) error {
+	v, err := ParsePredictor(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// factory returns the learner.Factory for p, or nil for the default
+// CSOAA kind — a nil factory makes core.NewSmartHarvest take its legacy
+// construction path, which keeps default runs byte-identical to builds
+// that predate the Predictor interface.
+func (p PredictorKind) factory() learner.Factory {
+	if p == PredictorCSOAA {
+		return nil
+	}
+	name := predictorNames[p]
+	return func(classes int) learner.Predictor {
+		pred, err := learner.NewPredictor(name, classes)
+		if err != nil {
+			// Every declared kind is registered; reaching this is a
+			// registry wiring bug.
+			panic(err)
+		}
+		return pred
+	}
+}
+
+// SmartHarvestPredictorFactory builds a SmartHarvest controller factory
+// running the selected predictor. It is the explicit-Controller
+// counterpart to Scenario.Predictor for callers (like cmd/smartharvest)
+// that compose the controller themselves.
+func SmartHarvestPredictorFactory(kind PredictorKind, opts core.SmartHarvestOptions) ControllerFactory {
+	opts.Predictor = kind.factory()
+	return func(alloc int) core.Controller {
+		return core.NewSmartHarvest(alloc, opts)
+	}
+}

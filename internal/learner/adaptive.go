@@ -22,6 +22,9 @@ type AdaptiveCSOAA struct {
 }
 
 // NewAdaptiveCSOAA builds the adaptive variant with base step eta.
+//
+// Deprecated for harvesting-path construction: prefer the registry
+// (NewPredictor("adagrad", classes)) or NewAdaGradPredictor; see NewCSOAA.
 func NewAdaptiveCSOAA(classes, nfeat int, eta float64) *AdaptiveCSOAA {
 	if classes < 2 {
 		panic("learner: need >= 2 classes")

@@ -26,6 +26,12 @@ type CSOAA struct {
 // NewCSOAA builds a classifier over `classes` classes and feature vectors
 // of length nfeat, with SGD learning rate lr (the paper uses VW's default
 // 0.1, kept constant so learning continues forever).
+//
+// Deprecated for harvesting-path construction: the agent consumes the
+// Predictor interface, so new call sites should go through the registry
+// (NewPredictor("csoaa", classes)) or NewCSOAAPredictor, which add
+// checkpointing and the contract tests for free. Constructing the bare
+// model remains supported for standalone classification use.
 func NewCSOAA(classes, nfeat int, lr float64) *CSOAA {
 	if classes < 2 {
 		panic(fmt.Sprintf("learner: need >= 2 classes, got %d", classes))

@@ -1,0 +1,99 @@
+package learner
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultLR is the paper's constant CSOAA learning rate, shared by every
+// factory that builds a CSOAA-backed predictor with default settings.
+const defaultLR = 0.1
+
+// Factory builds a predictor for a given class count (alloc+1). All
+// other shape parameters (feature count, learning rate, hidden width)
+// are the factory's business, so callers can select predictors purely
+// by name.
+type Factory func(classes int) Predictor
+
+// Registry maps predictor names to factories, the same
+// select-by-enum/string pattern Mechanism and BatchKind use for the
+// harvesting mechanism and batch workload. The zero value is unusable;
+// call NewRegistry.
+type Registry struct {
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a named factory. Empty names, nil factories, and
+// duplicate registrations panic: they are wiring bugs, not runtime
+// conditions.
+func (r *Registry) Register(name string, f Factory) {
+	if name == "" {
+		panic("learner: empty predictor name")
+	}
+	if f == nil {
+		panic("learner: nil predictor factory")
+	}
+	if _, dup := r.factories[name]; dup {
+		panic("learner: duplicate predictor " + name)
+	}
+	r.factories[name] = f
+}
+
+// New builds the named predictor, or errors if the name is unknown.
+func (r *Registry) New(name string, classes int) (Predictor, error) {
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("learner: unknown predictor %q (have %v)", name, r.Names())
+	}
+	return f(classes), nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultRegistry holds the built-in predictor zoo.
+var defaultRegistry = NewRegistry()
+
+func init() {
+	defaultRegistry.Register("csoaa", func(classes int) Predictor {
+		return NewCSOAAPredictor(classes, NumFeatures, defaultLR)
+	})
+	defaultRegistry.Register("adagrad", func(classes int) Predictor {
+		return NewAdaGradPredictor(classes, NumFeatures, defaultLR)
+	})
+	defaultRegistry.Register("ewma", func(classes int) Predictor {
+		return NewEWMAPredictor(classes)
+	})
+	defaultRegistry.Register("periodic", func(classes int) Predictor {
+		return NewPeriodic(classes)
+	})
+	defaultRegistry.Register("mlp", func(classes int) Predictor {
+		return NewMLP(classes)
+	})
+	defaultRegistry.Register("ensemble", func(classes int) Predictor {
+		return NewEnsemble(classes)
+	})
+}
+
+// Register adds a factory to the default registry.
+func Register(name string, f Factory) { defaultRegistry.Register(name, f) }
+
+// NewPredictor builds a predictor from the default registry.
+func NewPredictor(name string, classes int) (Predictor, error) {
+	return defaultRegistry.New(name, classes)
+}
+
+// Names returns the default registry's predictor names, sorted.
+func Names() []string { return defaultRegistry.Names() }

@@ -61,3 +61,62 @@ func LoadCSOAA(r io.Reader) (*CSOAA, error) {
 	c.updates = st.Updates
 	return c, nil
 }
+
+// adaptiveState is the serialized form of an AdaptiveCSOAA model. The
+// accumulated squared gradients travel with the weights: restoring only
+// the weights would reset every per-coordinate step size to its large
+// initial value and briefly destabilize a converged model.
+type adaptiveState struct {
+	Version int         `json:"version"`
+	Classes int         `json:"classes"`
+	NFeat   int         `json:"nfeat"`
+	Eta     float64     `json:"eta"`
+	Updates uint64      `json:"updates"`
+	Weights [][]float64 `json:"weights"`
+	GradSq  [][]float64 `json:"grad_sq"`
+}
+
+// Save writes the model's weights and AdaGrad accumulators as JSON.
+func (a *AdaptiveCSOAA) Save(w io.Writer) error {
+	st := adaptiveState{
+		Version: modelVersion,
+		Classes: a.classes,
+		NFeat:   a.nfeat,
+		Eta:     a.eta,
+		Updates: a.updates,
+		Weights: a.weights,
+		GradSq:  a.gradSq,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&st)
+}
+
+// LoadAdaptiveCSOAA restores a model saved with AdaptiveCSOAA.Save.
+func LoadAdaptiveCSOAA(r io.Reader) (*AdaptiveCSOAA, error) {
+	var st adaptiveState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("learner: decoding model: %w", err)
+	}
+	if st.Version != modelVersion {
+		return nil, fmt.Errorf("learner: unsupported model version %d", st.Version)
+	}
+	if st.Classes < 2 || st.NFeat < 1 || st.Eta <= 0 {
+		return nil, fmt.Errorf("learner: corrupt model header (classes=%d nfeat=%d eta=%v)",
+			st.Classes, st.NFeat, st.Eta)
+	}
+	if len(st.Weights) != st.Classes || len(st.GradSq) != st.Classes {
+		return nil, fmt.Errorf("learner: weight rows %d / gradsq rows %d != classes %d",
+			len(st.Weights), len(st.GradSq), st.Classes)
+	}
+	for i := 0; i < st.Classes; i++ {
+		if len(st.Weights[i]) != st.NFeat+1 || len(st.GradSq[i]) != st.NFeat+1 {
+			return nil, fmt.Errorf("learner: class %d has %d/%d weights, want %d",
+				i, len(st.Weights[i]), len(st.GradSq[i]), st.NFeat+1)
+		}
+	}
+	a := NewAdaptiveCSOAA(st.Classes, st.NFeat, st.Eta)
+	a.weights = st.Weights
+	a.gradSq = st.GradSq
+	a.updates = st.Updates
+	return a, nil
+}

@@ -322,3 +322,12 @@ func (j *JSONL) OnJobSLOMiss(e JobSLOMiss) {
 	j.intField("late", int64(e.Late))
 	j.end()
 }
+
+func (j *JSONL) OnPredictorInfo(e PredictorInfo) {
+	if !j.begin(KindPredictorInfo, int64(e.At)) {
+		return
+	}
+	j.strField("name", e.Name)
+	j.intField("classes", int64(e.Classes))
+	j.end()
+}

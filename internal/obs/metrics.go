@@ -16,16 +16,16 @@ import (
 // Fields are exported for direct reading once the run is over; the sink
 // is not safe for concurrent use during a run (attach one per scenario).
 type Metrics struct {
-	Polls      uint64
-	Windows    uint64
-	Safeguards uint64 // short-term safeguard trips
-	QoSTrips   uint64
-	QoSResumes uint64
-	Resizes    uint64
-	Grows      uint64 // resizes that shrank the primary group (ElasticVM grew)
-	Shrinks    uint64 // resizes that grew the primary group back
-	Churns     uint64
-	BatchPhases uint64
+	Polls         uint64
+	Windows       uint64
+	Safeguards    uint64 // short-term safeguard trips
+	QoSTrips      uint64
+	QoSResumes    uint64
+	Resizes       uint64
+	Grows         uint64 // resizes that shrank the primary group (ElasticVM grew)
+	Shrinks       uint64 // resizes that grew the primary group back
+	Churns        uint64
+	BatchPhases   uint64
 	BatchFinished bool
 
 	// ClampCounts tallies WindowEnd clamp reasons by ClampReason value.
@@ -54,6 +54,10 @@ type Metrics struct {
 
 	// ResizeLatency summarizes the hypercall issue latency per resize (ns).
 	ResizeLatency metrics.Welford
+
+	// Predictor is the predictor identity announced at run start; empty
+	// on default-CSOAA runs (which emit no PredictorInfo event).
+	Predictor string
 }
 
 // NewMetrics returns an empty aggregating sink.
@@ -107,6 +111,10 @@ func (m *Metrics) OnJobEvict(JobEvict)       { m.JobEvictions++ }
 func (m *Metrics) OnJobRequeue(JobRequeue)   { m.JobRequeues++ }
 func (m *Metrics) OnJobComplete(JobComplete) { m.JobCompletions++ }
 func (m *Metrics) OnJobSLOMiss(JobSLOMiss)   { m.SLOMisses++ }
+
+// OnPredictorInfo implements Observer. The predictor identity is a
+// run-level fact, not a counter; Metrics records the name for display.
+func (m *Metrics) OnPredictorInfo(e PredictorInfo) { m.Predictor = e.Name }
 
 // String renders a one-run summary.
 func (m *Metrics) String() string {

@@ -318,6 +318,18 @@ type JobSLOMiss struct {
 	Late sim.Time
 }
 
+// PredictorInfo fires once at run start when the scenario selects a
+// non-default predictor, recording which predictor identity produced the
+// trace (default CSOAA runs emit nothing, keeping their traces
+// byte-identical to pre-predictor-API builds).
+type PredictorInfo struct {
+	At sim.Time
+	// Name is the predictor's registry name ("ewma", "periodic", ...).
+	Name string
+	// Classes is the predictor's class count (max allocation + 1).
+	Classes int
+}
+
 // Observer receives the event stream. All methods are invoked
 // synchronously on the simulation goroutine; implementations must not
 // retain argument memory beyond the call (events are passed by value, so
@@ -343,6 +355,7 @@ type Observer interface {
 	OnJobRequeue(JobRequeue)
 	OnJobComplete(JobComplete)
 	OnJobSLOMiss(JobSLOMiss)
+	OnPredictorInfo(PredictorInfo)
 }
 
 // NopObserver implements Observer with no-ops; embed it to build partial
@@ -367,6 +380,7 @@ func (NopObserver) OnJobEvict(JobEvict)           {}
 func (NopObserver) OnJobRequeue(JobRequeue)       {}
 func (NopObserver) OnJobComplete(JobComplete)     {}
 func (NopObserver) OnJobSLOMiss(JobSLOMiss)       {}
+func (NopObserver) OnPredictorInfo(PredictorInfo) {}
 
 // multi fans events out to several observers in order.
 type multi struct{ obs []Observer }
@@ -478,5 +492,10 @@ func (m *multi) OnJobComplete(e JobComplete) {
 func (m *multi) OnJobSLOMiss(e JobSLOMiss) {
 	for _, o := range m.obs {
 		o.OnJobSLOMiss(e)
+	}
+}
+func (m *multi) OnPredictorInfo(e PredictorInfo) {
+	for _, o := range m.obs {
+		o.OnPredictorInfo(e)
 	}
 }

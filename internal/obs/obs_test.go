@@ -48,7 +48,8 @@ func feedAll(o Observer) int {
 		Elapsed: 5 * sim.Second, Evictions: 1})
 	o.OnJobSLOMiss(JobSLOMiss{At: 20 * sim.Second, Job: "job-0",
 		Deadline: 19 * sim.Second, Late: sim.Second})
-	return 18
+	o.OnPredictorInfo(PredictorInfo{At: 20 * sim.Second, Name: "ensemble", Classes: 11})
+	return 19
 }
 
 func TestRingKeepsMostRecent(t *testing.T) {
@@ -128,6 +129,7 @@ func TestJSONLSchema(t *testing.T) {
 		`{"v":1,"ev":"job-requeue","t":10000000000,"job":"job-0","evictions":1,"remaining":3000000000}`,
 		`{"v":1,"ev":"job-complete","t":14000000000,"job":"job-0","server":1,"elapsed":5000000000,"evictions":1}`,
 		`{"v":1,"ev":"job-slo-miss","t":20000000000,"job":"job-0","deadline":19000000000,"late":1000000000}`,
+		`{"v":1,"ev":"predictor","t":20000000000,"name":"ensemble","classes":11}`,
 	}, "\n") + "\n"
 	if got := buf.String(); got != want {
 		t.Errorf("trace lines changed (schema drift — bump SchemaVersion):\ngot:\n%swant:\n%s", got, want)
@@ -144,8 +146,8 @@ func TestJSONLOmitPolls(t *testing.T) {
 	if strings.Contains(buf.String(), `"ev":"poll"`) {
 		t.Error("poll line present despite JSONLOmitPolls")
 	}
-	if n := strings.Count(buf.String(), "\n"); n != 17 {
-		t.Errorf("got %d lines, want 17", n)
+	if n := strings.Count(buf.String(), "\n"); n != 18 {
+		t.Errorf("got %d lines, want 18", n)
 	}
 }
 

@@ -22,6 +22,7 @@ const (
 	KindJobRequeue
 	KindJobComplete
 	KindJobSLOMiss
+	KindPredictorInfo
 
 	numKinds
 )
@@ -31,7 +32,7 @@ var kindNames = [numKinds]string{
 	"resize", "churn", "batch", "fault", "retry",
 	"degraded-enter", "degraded-exit",
 	"job-submit", "job-start", "job-evict", "job-requeue",
-	"job-complete", "job-slo-miss",
+	"job-complete", "job-slo-miss", "predictor",
 }
 
 func (k Kind) String() string {
@@ -64,6 +65,7 @@ type Record struct {
 	JobRequeue    JobRequeue
 	JobComplete   JobComplete
 	JobSLOMiss    JobSLOMiss
+	PredictorInfo PredictorInfo
 }
 
 // Ring is the in-memory flight-recorder sink: it keeps the most recent
@@ -157,3 +159,4 @@ func (r *Ring) OnJobEvict(e JobEvict)           { r.add(KindJobEvict).JobEvict =
 func (r *Ring) OnJobRequeue(e JobRequeue)       { r.add(KindJobRequeue).JobRequeue = e }
 func (r *Ring) OnJobComplete(e JobComplete)     { r.add(KindJobComplete).JobComplete = e }
 func (r *Ring) OnJobSLOMiss(e JobSLOMiss)       { r.add(KindJobSLOMiss).JobSLOMiss = e }
+func (r *Ring) OnPredictorInfo(e PredictorInfo) { r.add(KindPredictorInfo).PredictorInfo = e }

@@ -42,6 +42,7 @@ import (
 	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
 	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/learner"
 	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
@@ -136,6 +137,40 @@ const (
 // ("conservative", "aggressive").
 func ParseSafeguardMode(s string) (SafeguardMode, error) { return core.ParseSafeguardMode(s) }
 
+// PredictorKind selects the peak predictor the default SmartHarvest
+// controller learns with (Scenario.Predictor / WithPredictor). The zero
+// value is the paper's CSOAA learner.
+type PredictorKind = harness.PredictorKind
+
+// Predictor choices — the built-in zoo. See internal/learner for the
+// models and DESIGN.md §10 for the selection trade-offs.
+const (
+	PredictorCSOAA    = harness.PredictorCSOAA
+	PredictorAdaGrad  = harness.PredictorAdaGrad
+	PredictorEWMA     = harness.PredictorEWMA
+	PredictorPeriodic = harness.PredictorPeriodic
+	PredictorMLP      = harness.PredictorMLP
+	PredictorEnsemble = harness.PredictorEnsemble
+)
+
+// ParsePredictor parses a PredictorKind from its String form ("csoaa",
+// "adagrad", "ewma", "periodic", "mlp", "ensemble"). Unknown names
+// return an error wrapping ErrUnknownPredictor.
+func ParsePredictor(s string) (PredictorKind, error) { return harness.ParsePredictor(s) }
+
+// PredictorNames returns the registered predictor names, sorted — the
+// valid inputs to ParsePredictor.
+func PredictorNames() []string { return learner.Names() }
+
+// NewSmartHarvestPredictor builds a SmartHarvest controller factory
+// running the selected predictor — the explicit-Controller counterpart
+// to Scenario.Predictor for callers that compose the controller
+// themselves (Scenario.Predictor and an explicit Controller are mutually
+// exclusive; Run rejects the combination with ErrPredictorConflict).
+func NewSmartHarvestPredictor(kind PredictorKind, opts SmartHarvestOptions) ControllerFactory {
+	return harness.SmartHarvestPredictorFactory(kind, opts)
+}
+
 // ScenarioOption adjusts a Scenario at Run time (the caller's copy is
 // never mutated).
 type ScenarioOption = harness.ScenarioOption
@@ -145,6 +180,10 @@ func WithObserver(o Observer) ScenarioOption { return harness.WithObserver(o) }
 
 // WithSeed overrides the scenario's RNG seed.
 func WithSeed(seed uint64) ScenarioOption { return harness.WithSeed(seed) }
+
+// WithPredictor selects the peak predictor for the default SmartHarvest
+// controller (only valid when Scenario.Controller is nil).
+func WithPredictor(p PredictorKind) ScenarioOption { return harness.WithPredictor(p) }
 
 // WithDuration overrides the measured run length.
 func WithDuration(d Time) ScenarioOption { return harness.WithDuration(d) }
@@ -157,12 +196,14 @@ func WithChecker(c *Checker) ScenarioOption { return harness.WithChecker(c) }
 // wrapping one of these sentinels when the Scenario is malformed; test
 // with errors.Is and recover detail with errors.As.
 var (
-	ErrNoPrimaries   = harness.ErrNoPrimaries
-	ErrBadCoreCounts = harness.ErrBadCoreCounts
-	ErrBadDuration   = harness.ErrBadDuration
-	ErrBadWindow     = harness.ErrBadWindow
-	ErrBadChurn      = harness.ErrBadChurn
-	ErrUnknownBatch  = harness.ErrUnknownBatch
+	ErrNoPrimaries       = harness.ErrNoPrimaries
+	ErrBadCoreCounts     = harness.ErrBadCoreCounts
+	ErrBadDuration       = harness.ErrBadDuration
+	ErrBadWindow         = harness.ErrBadWindow
+	ErrBadChurn          = harness.ErrBadChurn
+	ErrUnknownBatch      = harness.ErrUnknownBatch
+	ErrUnknownPredictor  = harness.ErrUnknownPredictor
+	ErrPredictorConflict = harness.ErrPredictorConflict
 )
 
 // ScenarioError reports which scenario and field failed validation.
@@ -296,6 +337,9 @@ type (
 	DegradedEnter = obs.DegradedEnter
 	// DegradedExit fires when a clean probation ends degraded mode.
 	DegradedExit = obs.DegradedExit
+	// PredictorInfo announces a non-default predictor selection at the
+	// start of a run.
+	PredictorInfo = obs.PredictorInfo
 )
 
 // ClampReason explains why a window's applied target differs from the
