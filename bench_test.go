@@ -80,6 +80,8 @@ func BenchmarkFleet(b *testing.B)      { benchExperiment(b, "fleet") }
 func BenchmarkSched(b *testing.B)      { benchExperiment(b, "sched") }
 func BenchmarkGuardSweep(b *testing.B) { benchExperiment(b, "guard-sweep") }
 func BenchmarkMemHarvest(b *testing.B) { benchExperiment(b, "memharvest") }
+func BenchmarkChaos(b *testing.B)      { benchExperiment(b, "chaos") }
+func BenchmarkPredictors(b *testing.B) { benchExperiment(b, "predictors") }
 
 // BenchmarkTable3_* are the real microbenchmarks behind the paper's
 // Table 3 — the latency of each learning operation in this

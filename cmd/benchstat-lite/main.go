@@ -1,0 +1,71 @@
+// Command benchstat-lite compares BENCH_*.json perf snapshots (written
+// by `experiments -bench-snapshot`) and gates on regressions.
+//
+// Usage:
+//
+//	benchstat-lite [flags] BENCH_old.json [BENCH_newer.json ...]
+//
+// Snapshots are given oldest first. One snapshot prints its absolute
+// numbers; two or more print an old-vs-new comparison table (first vs
+// last) and textplot trend charts across the whole sequence. Output is
+// deterministic: the same inputs always render the same bytes.
+//
+// Exit status: 0 clean, 1 when any metric regressed beyond -threshold
+// (ns/op or allocs/op up, suite sim-s/wall-s down), 2 on usage or load
+// errors. A benchmark missing from the newest snapshot (renamed or
+// removed) is a warning, not a failure.
+//
+// Flags:
+//
+//	-threshold F  fractional regression that fails the gate
+//	              (default 0.20 = 20%)
+//	-q            print regressions and warnings only, not the tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartharvest/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "fractional regression that fails the gate (0.20 = 20%)")
+	quiet := flag.Bool("q", false, "print regressions and warnings only")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchstat-lite [-threshold F] BENCH_old.json [BENCH_newer.json ...]")
+		os.Exit(2)
+	}
+	snaps := make([]*bench.Snapshot, len(paths))
+	for i, p := range paths {
+		s, err := bench.LoadSnapshot(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		snaps[i] = s
+	}
+
+	analysis, err := bench.Analyze(snaps, bench.AnalyzeOptions{Threshold: *threshold})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		fmt.Print(analysis.Output)
+	} else {
+		for _, w := range analysis.Warnings {
+			fmt.Printf("warning: %s\n", w)
+		}
+		for _, r := range analysis.Regressions {
+			fmt.Printf("REGRESSION: %s\n", r)
+		}
+	}
+	if len(analysis.Regressions) > 0 {
+		os.Exit(1)
+	}
+}

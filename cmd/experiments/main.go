@@ -35,6 +35,23 @@
 //	           (csoaa, adagrad, ewma, periodic, mlp, ensemble); the
 //	           predictors experiment ignores this and always sweeps all
 //	-list      list experiment IDs and exit
+//
+// Grid mode (declarative experiment plans; see internal/bench):
+//
+//	-grid FILE     run the JSON experiment grid instead of positional
+//	               experiments, honoring -parallel; per-run artifacts
+//	               (<id>.csv, <id>.json, <id>.txt, manifest.csv) are
+//	               byte-identical at any -parallel setting
+//	-grid-out DIR  artifact directory for -grid (default grid-out)
+//
+// Snapshot mode (perf trajectory; see internal/bench and DESIGN.md §11):
+//
+//	-bench-snapshot   measure the pinned microbenchmarks plus one timed
+//	                  run of the whole suite and write a BENCH_*.json
+//	                  snapshot; compare snapshots with benchstat-lite
+//	-bench-out FILE   snapshot path (default BENCH.json)
+//	-bench-label S    snapshot label (default the -bench-out stem)
+//	-bench-short      reduced measurement budget for CI smoke runs
 package main
 
 import (
@@ -46,6 +63,7 @@ import (
 	"strings"
 	"time"
 
+	"smartharvest/internal/bench"
 	"smartharvest/internal/experiments"
 	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
@@ -74,6 +92,12 @@ func main() {
 	faultsPlan := flag.String("faults", "", "fault plan for the sched experiment's fleet (key=value pairs, e.g. 'drop=0.01,stall=0.001')")
 	predictor := flag.String("predictor", "", "peak predictor for every smartharvest row: csoaa (default), adagrad, ewma, periodic, mlp, ensemble")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	gridFile := flag.String("grid", "", "run the declarative JSON experiment grid in FILE (see internal/bench)")
+	gridOut := flag.String("grid-out", "grid-out", "artifact directory for -grid runs")
+	benchSnapshot := flag.Bool("bench-snapshot", false, "collect a perf snapshot (pinned microbenchmarks + suite timing) and exit")
+	benchOut := flag.String("bench-out", "BENCH.json", "snapshot output path for -bench-snapshot")
+	benchLabel := flag.String("bench-label", "", "snapshot label (default: -bench-out file stem)")
+	benchShort := flag.Bool("bench-short", false, "reduced snapshot measurement budget (CI smoke)")
 	flag.Parse()
 
 	if *list {
@@ -81,6 +105,12 @@ func main() {
 			fmt.Println(e.ID)
 		}
 		return
+	}
+	if *benchSnapshot {
+		os.Exit(runBenchSnapshot(*benchOut, *benchLabel, *benchShort, *parallel))
+	}
+	if *gridFile != "" {
+		os.Exit(runGrid(*gridFile, *gridOut, *parallel))
 	}
 
 	cfg := experiments.Config{
@@ -192,6 +222,71 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// runBenchSnapshot collects a perf snapshot (internal/bench) and writes
+// it to path, printing its absolute numbers afterwards.
+func runBenchSnapshot(path, label string, short bool, parallel int) int {
+	if label == "" {
+		label = strings.TrimSuffix(filepath.Base(path), ".json")
+		label = strings.TrimPrefix(label, "BENCH_")
+	}
+	snap, err := bench.Collect(bench.CollectConfig{
+		Label:    label,
+		Short:    short,
+		Parallel: parallel,
+		Progress: func(line string) { fmt.Println(line) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if err := bench.WriteSnapshot(path, snap); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// runGrid executes a declarative experiment grid and writes per-run
+// artifacts, streaming each run's human report to stdout in order.
+func runGrid(gridPath, outDir string, parallel int) int {
+	grid, err := bench.LoadGrid(gridPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	results, err := bench.RunGrid(grid, parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	code := 0
+	for _, rr := range results {
+		if rr.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: grid run %s: %v\n", rr.ID, rr.Err)
+			code = 1
+			continue
+		}
+		fmt.Printf("[%s]\n%s\n", rr.ID, rr.Report)
+	}
+	if err := bench.WriteArtifacts(outDir, results); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %d artifact files to %s\n", 1+3*countOK(results), outDir)
+	return code
+}
+
+func countOK(results []bench.RunResult) int {
+	n := 0
+	for _, rr := range results {
+		if rr.Err == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // runExperiment executes one experiment across its seeds and collects

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"smartharvest/internal/textplot"
+)
+
+// AnalyzeOptions tune regression detection.
+type AnalyzeOptions struct {
+	// Threshold is the fractional slowdown that flags a regression:
+	// 0.20 means ns/op (or allocs/op) growing more than 20%, or suite
+	// sim-s/wall-s dropping more than 20%. Default 0.20.
+	Threshold float64
+}
+
+func (o *AnalyzeOptions) applyDefaults() {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.20
+	}
+}
+
+// Analysis is the analyzer's rendered result. Output is deterministic:
+// the same snapshots and options always produce the same bytes, so the
+// comparison table can be diffed and pinned.
+type Analysis struct {
+	// Output is the full rendered text: comparison tables, trend
+	// charts, and warnings.
+	Output string
+	// Regressions lists every metric that moved past the threshold in
+	// the bad direction between the first and last snapshot. Empty
+	// means the gate passes.
+	Regressions []string
+	// Warnings list non-fatal oddities: benchmarks missing from the
+	// newest snapshot (renamed or removed?), mixed short/full modes,
+	// differing measurement hosts.
+	Warnings []string
+}
+
+// Analyze compares snapshots in the given order (oldest first). One
+// snapshot renders its absolute numbers; two or more compare first
+// against last and chart the trajectory across all of them. A
+// benchmark present in the baseline but missing from the newest
+// snapshot is a warning, never an error — renames must not brick the
+// trajectory.
+func Analyze(snaps []*Snapshot, opts AnalyzeOptions) (*Analysis, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("bench: no snapshots to analyze")
+	}
+	opts.applyDefaults()
+	a := &Analysis{}
+	var b strings.Builder
+
+	labels := make([]string, len(snaps))
+	for i, s := range snaps {
+		labels[i] = s.Label
+	}
+	fmt.Fprintf(&b, "== perf trajectory: %s ==\n", strings.Join(labels, " -> "))
+
+	if len(snaps) == 1 {
+		renderSingle(&b, snaps[0])
+		a.Output = b.String()
+		return a, nil
+	}
+
+	old, cur := snaps[0], snaps[len(snaps)-1]
+	if old.Short != cur.Short {
+		a.warn("comparing short-mode and full snapshots (%s short=%v, %s short=%v): absolute numbers are not comparable",
+			old.Label, old.Short, cur.Label, cur.Short)
+	}
+	if old.GOOS != cur.GOOS || old.GOARCH != cur.GOARCH || old.GOMAXPROCS != cur.GOMAXPROCS {
+		a.warn("snapshots measured on different hosts (%s: %s/%s x%d, %s: %s/%s x%d)",
+			old.Label, old.GOOS, old.GOARCH, old.GOMAXPROCS,
+			cur.Label, cur.GOOS, cur.GOARCH, cur.GOMAXPROCS)
+	}
+
+	renderComparison(&b, a, old, cur, opts.Threshold)
+	renderSuiteComparison(&b, a, old, cur, opts.Threshold)
+	if len(snaps) >= 2 {
+		renderTrends(&b, snaps)
+	}
+
+	for _, w := range a.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	if len(a.Regressions) == 0 {
+		fmt.Fprintf(&b, "no regressions beyond %.0f%%\n", opts.Threshold*100)
+	} else {
+		for _, r := range a.Regressions {
+			fmt.Fprintf(&b, "REGRESSION: %s\n", r)
+		}
+	}
+	a.Output = b.String()
+	return a, nil
+}
+
+func (a *Analysis) warn(format string, args ...any) {
+	a.Warnings = append(a.Warnings, fmt.Sprintf(format, args...))
+}
+
+func (a *Analysis) regress(format string, args ...any) {
+	a.Regressions = append(a.Regressions, fmt.Sprintf(format, args...))
+}
+
+// renderSingle prints one snapshot's absolute numbers.
+func renderSingle(b *strings.Builder, s *Snapshot) {
+	fmt.Fprintf(b, "single snapshot (%s, %s/%s x%d, go %s%s) — no baseline to compare\n",
+		s.Label, s.GOOS, s.GOARCH, s.GOMAXPROCS, s.GoVersion, shortTag(s))
+	fmt.Fprintf(b, "%-24s %14s %12s %12s\n", "benchmark", "ns/op", "allocs/op", "B/op")
+	for _, bm := range s.Benchmarks {
+		fmt.Fprintf(b, "%-24s %14.1f %12.1f %12.1f\n", bm.Name, bm.NsPerOp, bm.AllocsPerOp, bm.BytesPerOp)
+	}
+	if s.Suite != nil {
+		fmt.Fprintf(b, "suite: %d experiments, %.1fs wall, %.0f sim-s, %.1f sim-s/wall-s (%d workers)\n",
+			len(s.Suite.Experiments), s.Suite.WallSeconds, s.Suite.SimSeconds,
+			s.Suite.SimPerWall, s.Suite.Parallel)
+	}
+}
+
+func shortTag(s *Snapshot) string {
+	if s.Short {
+		return ", short"
+	}
+	return ""
+}
+
+// renderComparison prints the per-benchmark old-vs-new table and
+// records regressions and missing-benchmark warnings.
+func renderComparison(b *strings.Builder, a *Analysis, old, cur *Snapshot, threshold float64) {
+	curBy := map[string]Benchmark{}
+	for _, bm := range cur.Benchmarks {
+		curBy[bm.Name] = bm
+	}
+	oldBy := map[string]Benchmark{}
+	for _, bm := range old.Benchmarks {
+		oldBy[bm.Name] = bm
+	}
+
+	fmt.Fprintf(b, "%-24s %14s %14s %9s %11s %11s\n",
+		"benchmark", old.Label+" ns/op", cur.Label+" ns/op", "delta", "allocs/op", "flag")
+	for _, obm := range old.Benchmarks {
+		nbm, ok := curBy[obm.Name]
+		if !ok {
+			a.warn("benchmark %s missing from %s (renamed or removed?)", obm.Name, cur.Label)
+			fmt.Fprintf(b, "%-24s %14.1f %14s %9s %11s %11s\n",
+				obm.Name, obm.NsPerOp, "-", "-", "-", "missing")
+			continue
+		}
+		delta := ratioDelta(obm.NsPerOp, nbm.NsPerOp)
+		flag := ""
+		if delta > threshold {
+			flag = "REGRESSED"
+			a.regress("%s: ns/op %+.1f%% (%.1f -> %.1f) exceeds +%.0f%%",
+				obm.Name, delta*100, obm.NsPerOp, nbm.NsPerOp, threshold*100)
+		} else if delta < -threshold {
+			flag = "improved"
+		}
+		if allocDelta := nbm.AllocsPerOp - obm.AllocsPerOp; allocDelta > 0.5 &&
+			(obm.AllocsPerOp == 0 || allocDelta/obm.AllocsPerOp > threshold) {
+			flag = "REGRESSED"
+			a.regress("%s: allocs/op %.1f -> %.1f", obm.Name, obm.AllocsPerOp, nbm.AllocsPerOp)
+		}
+		fmt.Fprintf(b, "%-24s %14.1f %14.1f %8.1f%% %5.1f->%-5.1f %11s\n",
+			obm.Name, obm.NsPerOp, nbm.NsPerOp, delta*100, obm.AllocsPerOp, nbm.AllocsPerOp, flag)
+	}
+	for _, nbm := range cur.Benchmarks {
+		if _, ok := oldBy[nbm.Name]; !ok {
+			fmt.Fprintf(b, "%-24s %14s %14.1f %9s %5s->%-5.1f %11s\n",
+				nbm.Name, "-", nbm.NsPerOp, "-", "", nbm.AllocsPerOp, "(new)")
+		}
+	}
+}
+
+// renderSuiteComparison prints suite throughput old vs new. When the
+// two snapshots ran at different suite scales (short vs full) the
+// comparison is skipped — a warning has already been recorded.
+func renderSuiteComparison(b *strings.Builder, a *Analysis, old, cur *Snapshot, threshold float64) {
+	if old.Suite == nil || cur.Suite == nil {
+		if old.Suite != nil || cur.Suite != nil {
+			a.warn("only one snapshot carries a suite section; skipping suite comparison")
+		}
+		return
+	}
+	fmt.Fprintf(b, "suite %-19s %14.1f %14.1f\n", "wall seconds", old.Suite.WallSeconds, cur.Suite.WallSeconds)
+	if old.Short != cur.Short || old.Suite.DurationSec != cur.Suite.DurationSec {
+		fmt.Fprintf(b, "suite %-19s %14.1f %14.1f   (different scales; not gated)\n",
+			"sim-s/wall-s", old.Suite.SimPerWall, cur.Suite.SimPerWall)
+		return
+	}
+	delta := ratioDelta(cur.Suite.SimPerWall, old.Suite.SimPerWall) // drop = regression
+	flag := ""
+	if delta > threshold {
+		flag = "   REGRESSED"
+		a.regress("suite sim-s/wall-s %.1f -> %.1f (-%.1f%%) exceeds -%.0f%%",
+			old.Suite.SimPerWall, cur.Suite.SimPerWall, delta*100, threshold*100)
+	}
+	fmt.Fprintf(b, "suite %-19s %14.1f %14.1f%s\n", "sim-s/wall-s",
+		old.Suite.SimPerWall, cur.Suite.SimPerWall, flag)
+}
+
+// ratioDelta returns how much worse cur is than old as a fraction:
+// for costs pass (old, cur); for throughputs pass (cur, old).
+func ratioDelta(old, cur float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return cur/old - 1
+}
+
+// renderTrends charts each benchmark's ns/op across the snapshot
+// sequence, normalized to the first snapshot that has it (100 = no
+// change), plus the suite throughput trajectory.
+func renderTrends(b *strings.Builder, snaps []*Snapshot) {
+	var series []textplot.Series
+	for _, m := range snaps[0].Benchmarks {
+		var pts []textplot.Point
+		var base float64
+		for i, s := range snaps {
+			for _, bm := range s.Benchmarks {
+				if bm.Name != m.Name {
+					continue
+				}
+				if base == 0 {
+					base = bm.NsPerOp
+				}
+				if base > 0 {
+					pts = append(pts, textplot.Point{X: float64(i), Y: 100 * bm.NsPerOp / base})
+				}
+			}
+		}
+		if len(pts) > 1 {
+			series = append(series, textplot.Series{Name: m.Name, Points: pts})
+		}
+	}
+	if len(series) > 0 {
+		b.WriteString(textplot.Render(series, textplot.Options{
+			Title:  "ns/op relative to first snapshot (100 = unchanged)",
+			XLabel: "snapshot index", YLabel: "%",
+			Width: 56, Height: 12,
+		}))
+	}
+	var suitePts []textplot.Point
+	for i, s := range snaps {
+		if s.Suite != nil {
+			suitePts = append(suitePts, textplot.Point{X: float64(i), Y: s.Suite.SimPerWall})
+		}
+	}
+	if len(suitePts) > 1 {
+		b.WriteString(textplot.Render([]textplot.Series{
+			{Name: "sim-s/wall-s", Glyph: '*', Points: suitePts},
+		}, textplot.Options{
+			Title:  "suite throughput",
+			XLabel: "snapshot index", YLabel: "sim-s/wall-s", YMin: 0,
+			Width: 56, Height: 10,
+		}))
+	}
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadFixture(t *testing.T, name string) *Snapshot {
+	t.Helper()
+	s, err := LoadSnapshot(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAnalyzeDetectsRegression feeds the analyzer a baseline and a
+// snapshot with an injected 20% ns/op regression on sim/schedule-fire.
+func TestAnalyzeDetectsRegression(t *testing.T) {
+	snaps := []*Snapshot{loadFixture(t, "BENCH_a.json"), loadFixture(t, "BENCH_b_regressed.json")}
+	a, err := Analyze(snaps, AnalyzeOptions{Threshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the injected one", a.Regressions)
+	}
+	if !strings.Contains(a.Regressions[0], "sim/schedule-fire") {
+		t.Errorf("regression %q does not name sim/schedule-fire", a.Regressions[0])
+	}
+	if !strings.Contains(a.Output, "REGRESSED") || !strings.Contains(a.Output, "REGRESSION:") {
+		t.Errorf("output does not flag the regression:\n%s", a.Output)
+	}
+}
+
+// TestAnalyzeBelowThreshold: the same 20% regression passes a 25% gate.
+func TestAnalyzeBelowThreshold(t *testing.T) {
+	snaps := []*Snapshot{loadFixture(t, "BENCH_a.json"), loadFixture(t, "BENCH_b_regressed.json")}
+	a, err := Analyze(snaps, AnalyzeOptions{Threshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regressions) != 0 {
+		t.Errorf("regressions at 25%% threshold: %v", a.Regressions)
+	}
+	if !strings.Contains(a.Output, "no regressions beyond 25%") {
+		t.Errorf("output missing the all-clear line:\n%s", a.Output)
+	}
+}
+
+// TestAnalyzeMissingBenchmarkWarns: a benchmark renamed away from the
+// newest snapshot is a warning, never an error or a regression.
+func TestAnalyzeMissingBenchmarkWarns(t *testing.T) {
+	snaps := []*Snapshot{loadFixture(t, "BENCH_a.json"), loadFixture(t, "BENCH_c_renamed.json")}
+	a, err := Analyze(snaps, AnalyzeOptions{})
+	if err != nil {
+		t.Fatalf("rename must not error: %v", err)
+	}
+	if len(a.Regressions) != 0 {
+		t.Errorf("rename must not regress: %v", a.Regressions)
+	}
+	var found bool
+	for _, w := range a.Warnings {
+		if strings.Contains(w, "sim/cancel") && strings.Contains(w, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings %v do not flag the missing sim/cancel", a.Warnings)
+	}
+	if !strings.Contains(a.Output, "(new)") {
+		t.Errorf("output does not mark the renamed benchmark as new:\n%s", a.Output)
+	}
+}
+
+// TestAnalyzeSingleSnapshot: one snapshot renders its absolute numbers
+// and gates nothing.
+func TestAnalyzeSingleSnapshot(t *testing.T) {
+	a, err := Analyze([]*Snapshot{loadFixture(t, "BENCH_a.json")}, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regressions) != 0 || len(a.Warnings) != 0 {
+		t.Errorf("single snapshot produced regressions %v warnings %v", a.Regressions, a.Warnings)
+	}
+	if !strings.Contains(a.Output, "no baseline") {
+		t.Errorf("output missing the no-baseline note:\n%s", a.Output)
+	}
+	if !strings.Contains(a.Output, "sched/placement") {
+		t.Errorf("output missing the benchmark table:\n%s", a.Output)
+	}
+}
+
+// TestAnalyzeDeterministic pins byte-identical output for identical
+// inputs — the comparison table must be reproducible.
+func TestAnalyzeDeterministic(t *testing.T) {
+	snaps := []*Snapshot{
+		loadFixture(t, "BENCH_a.json"),
+		loadFixture(t, "BENCH_b_regressed.json"),
+		loadFixture(t, "BENCH_c_renamed.json"),
+	}
+	first, err := Analyze(snaps, AnalyzeOptions{Threshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Analyze(snaps, AnalyzeOptions{Threshold: 0.10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Output != first.Output {
+			t.Fatalf("Analyze output changed between identical runs:\n--- first ---\n%s--- again ---\n%s",
+				first.Output, again.Output)
+		}
+	}
+	if !strings.Contains(first.Output, "ns/op relative to first snapshot") {
+		t.Errorf("three snapshots should render a trend chart:\n%s", first.Output)
+	}
+}
+
+// TestAnalyzeAllocRegression: allocs/op growth past the threshold flags
+// even when ns/op holds steady.
+func TestAnalyzeAllocRegression(t *testing.T) {
+	old := loadFixture(t, "BENCH_a.json")
+	cur := loadFixture(t, "BENCH_a.json")
+	cur.Label = "a2"
+	for i := range cur.Benchmarks {
+		if cur.Benchmarks[i].Name == "sim/ticker" {
+			cur.Benchmarks[i].AllocsPerOp = 2
+		}
+	}
+	a, err := Analyze([]*Snapshot{old, cur}, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regressions) != 1 || !strings.Contains(a.Regressions[0], "allocs/op") {
+		t.Errorf("allocs growth 0 -> 2 not flagged: %v", a.Regressions)
+	}
+}
+
+// TestAnalyzeSuiteThroughputDrop: suite sim-s/wall-s falling past the
+// threshold is gated like any benchmark.
+func TestAnalyzeSuiteThroughputDrop(t *testing.T) {
+	old := loadFixture(t, "BENCH_a.json")
+	cur := loadFixture(t, "BENCH_a.json")
+	cur.Label = "slow"
+	cur.Suite.SimPerWall = old.Suite.SimPerWall * 0.5
+	a, err := Analyze([]*Snapshot{old, cur}, AnalyzeOptions{Threshold: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regressions) != 1 || !strings.Contains(a.Regressions[0], "sim-s/wall-s") {
+		t.Errorf("50%% suite throughput drop not flagged: %v", a.Regressions)
+	}
+}
+
+// TestAnalyzeShortMismatchWarns: short-mode vs full snapshots warn and
+// skip suite gating instead of comparing incomparable numbers.
+func TestAnalyzeShortMismatchWarns(t *testing.T) {
+	old := loadFixture(t, "BENCH_a.json")
+	cur := loadFixture(t, "BENCH_a.json")
+	cur.Label = "ci"
+	cur.Short = true
+	cur.Suite.DurationSec = 2
+	cur.Suite.SimPerWall = old.Suite.SimPerWall * 0.4 // would gate if compared
+	a, err := Analyze([]*Snapshot{old, cur}, AnalyzeOptions{Threshold: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regressions) != 0 {
+		t.Errorf("short-vs-full suite numbers must not gate: %v", a.Regressions)
+	}
+	var warned bool
+	for _, w := range a.Warnings {
+		if strings.Contains(w, "short") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("warnings %v do not mention the short/full mismatch", a.Warnings)
+	}
+}
+
+func TestAnalyzeNoSnapshots(t *testing.T) {
+	if _, err := Analyze(nil, AnalyzeOptions{}); err == nil {
+		t.Fatal("Analyze(nil) must error")
+	}
+}

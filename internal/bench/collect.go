@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"smartharvest/internal/experiments"
+	"smartharvest/internal/harness"
+	"smartharvest/internal/sim"
+)
+
+// CollectConfig scales a snapshot collection.
+type CollectConfig struct {
+	// Label names the snapshot ("pr8", "ci", ...). Required.
+	Label string
+	// Short reduces the measurement budget for CI smoke runs: 50 ms
+	// benchtime per micro (default 300 ms) and a 2 s suite duration
+	// (default 6 s, the quick scale). Short snapshots are marked in the
+	// file and the analyzer warns when comparing across modes.
+	Short bool
+	// Parallel is the suite's worker-pool size (0 = GOMAXPROCS).
+	Parallel int
+	// Progress, when non-nil, receives one line per completed step.
+	Progress func(line string)
+}
+
+// Collect measures the pinned microbenchmarks and times one run of the
+// full experiment suite, returning the snapshot ready to write. This is
+// the single entry point behind `cmd/experiments -bench-snapshot`.
+func Collect(cfg CollectConfig) (*Snapshot, error) {
+	if cfg.Label == "" {
+		return nil, fmt.Errorf("bench: snapshot label required")
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+	benchTarget := 300 * time.Millisecond
+	suiteDur := 6 * sim.Second
+	if cfg.Short {
+		benchTarget = 50 * time.Millisecond
+		suiteDur = 2 * sim.Second
+	}
+
+	s := &Snapshot{
+		Schema:     SnapshotSchema,
+		Label:      cfg.Label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Short:      cfg.Short,
+	}
+	for _, m := range Micros() {
+		res := measure(m, benchTarget)
+		s.Benchmarks = append(s.Benchmarks, res)
+		progress(fmt.Sprintf("bench %-22s %12.1f ns/op %8.0f allocs/op (n=%d)",
+			m.Name, res.NsPerOp, res.AllocsPerOp, res.N))
+	}
+
+	suite, err := collectSuite(suiteDur, cfg.Parallel, progress)
+	if err != nil {
+		return nil, err
+	}
+	s.Suite = suite
+	return s, nil
+}
+
+// collectSuite runs every experiment once at the given scale on a
+// worker pool, timing each and the aggregate.
+func collectSuite(duration sim.Time, parallel int, progress func(string)) (*Suite, error) {
+	cfg := experiments.Quick()
+	cfg.Duration = duration
+	cfg.Parallel = parallel
+
+	all := experiments.All()
+	workers := parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(all) {
+		workers = len(all)
+	}
+
+	simStart := harness.SimTimeExecuted()
+	wallStart := time.Now()
+
+	walls := make([]float64, len(all))
+	errs := make([]error, len(all))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				rep, err := all[i].Run(cfg)
+				walls[i] = time.Since(start).Seconds()
+				if err == nil && len(rep.Lines) == 0 {
+					err = fmt.Errorf("bench: suite experiment %s produced an empty report", all[i].ID)
+				}
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range all {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	wall := time.Since(wallStart).Seconds()
+	simSec := (harness.SimTimeExecuted() - simStart).Seconds()
+	suite := &Suite{
+		Parallel:    workers,
+		DurationSec: duration.Seconds(),
+		WallSeconds: wall,
+		SimSeconds:  simSec,
+	}
+	if wall > 0 {
+		suite.SimPerWall = simSec / wall
+	}
+	for i, e := range all {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("bench: suite experiment %s: %w", e.ID, errs[i])
+		}
+		suite.Experiments = append(suite.Experiments, SuiteExperiment{ID: e.ID, WallSeconds: walls[i]})
+	}
+	progress(fmt.Sprintf("suite %d experiments in %.1fs wall; %.0f sim-s (%.1f sim-s/wall-s, %d workers)",
+		len(all), wall, simSec, suite.SimPerWall, workers))
+	return suite, nil
+}

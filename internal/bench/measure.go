@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// measure times one micro's body, calibrating the iteration count the
+// way testing.B does (geometric growth predicted from the last round)
+// until a round runs for at least target wall time. Allocation counters
+// come from runtime.MemStats deltas around the timed round — exact
+// malloc counts, not samples — so allocs/op matches -benchmem within
+// rounding for single-goroutine bodies.
+func measure(m Micro, target time.Duration) Benchmark {
+	body := m.Setup()
+	body(1) // warm up: one-time lazy initialization stays out of the measurement
+
+	var before, after runtime.MemStats
+	n := 1
+	for {
+		runtime.GC() // settle the heap so the round's GC debt is its own
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		body(n)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		if elapsed >= target || n >= 1e9 {
+			if elapsed <= 0 {
+				elapsed = time.Nanosecond
+			}
+			return Benchmark{
+				Name:        m.Name,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+				N:           int64(n),
+			}
+		}
+		// Predict the n that lands ~1.2x past target, growing at least
+		// 2x and at most 100x per round (testing.B's guard rails).
+		next := n * 100
+		if elapsed > 0 {
+			predicted := int(1.2 * float64(target) / float64(elapsed) * float64(n))
+			if predicted < next {
+				next = predicted
+			}
+		}
+		if next < 2*n {
+			next = 2 * n
+		}
+		n = next
+	}
+}

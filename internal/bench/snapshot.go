@@ -1,0 +1,137 @@
+// Package bench is the reproducible experiment pipeline behind the
+// repo's perf trajectory: a declarative experiment grid executed by
+// cmd/experiments -grid (per-run CSV/JSON artifacts with stable
+// schemas), a BENCH_*.json perf snapshot collector (pinned
+// microbenchmarks plus the quick evaluation suite), and a pure-Go
+// analyzer that compares snapshots, renders trend charts, and flags
+// regressions beyond a threshold (cmd/benchstat-lite).
+//
+// One snapshot is written per PR at the repository root
+// (BENCH_pr8.json, BENCH_pr9.json, ...), so the performance history is
+// tracked in-repo and CI can gate on it. See DESIGN.md §11 for the
+// schema and its compatibility rule.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SnapshotSchema versions BENCH_*.json. Compatibility rule (DESIGN.md
+// §11): a consumer must refuse a snapshot whose schema identifier
+// differs (a v2 may change units or semantics); unknown *fields* within
+// the same version are ignored, so additive growth does not bump the
+// version.
+const SnapshotSchema = "smartharvest-bench/v1"
+
+// Snapshot is one BENCH_*.json file: the machine's pinned
+// microbenchmark results plus one timed run of the quick evaluation
+// suite. All durations are seconds, all benchmark costs ns/op.
+type Snapshot struct {
+	Schema string `json:"schema"`
+	// Label names the snapshot in analyzer tables ("pr8", "ci", ...).
+	Label string `json:"label"`
+	// Environment the numbers were measured on: snapshots from
+	// different hosts compare shapes, not absolutes.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Short marks a reduced-budget collection (CI smoke): shorter
+	// benchtime and a shorter suite duration.
+	Short bool `json:"short,omitempty"`
+	// Benchmarks are the pinned micros, in Micros() order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Suite is the quick evaluation suite's aggregate timing.
+	Suite *Suite `json:"suite,omitempty"`
+}
+
+// Benchmark is one pinned microbenchmark measurement.
+type Benchmark struct {
+	// Name is the snapshot-stable identifier, e.g. "sim/schedule-fire".
+	Name string `json:"name"`
+	// NsPerOp is wall nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp count heap allocations per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// N is how many operations the measurement timed.
+	N int64 `json:"n"`
+}
+
+// Suite is one timed run of every experiment at the quick scale.
+type Suite struct {
+	// Parallel is the experiment/scenario worker-pool size used.
+	Parallel int `json:"parallel"`
+	// DurationSec is the simulated measured duration per scenario.
+	DurationSec float64 `json:"duration_sec"`
+	// WallSeconds is total wall time for the whole suite.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is total simulated machine time executed.
+	SimSeconds float64 `json:"sim_seconds"`
+	// SimPerWall = SimSeconds / WallSeconds, the headline throughput.
+	SimPerWall float64 `json:"sim_per_wall"`
+	// Experiments records per-experiment wall time, in run order. Wall
+	// times overlap when experiments run concurrently.
+	Experiments []SuiteExperiment `json:"experiments"`
+}
+
+// SuiteExperiment is one experiment's wall time within the suite run.
+type SuiteExperiment struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Marshal renders the snapshot as indented JSON with a trailing
+// newline, byte-deterministic for identical contents.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: marshaling snapshot: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// WriteSnapshot writes the snapshot to path.
+func WriteSnapshot(path string, s *Snapshot) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ParseSnapshot decodes one BENCH_*.json, enforcing the schema
+// compatibility rule. Unknown fields are tolerated (additive growth);
+// a different schema identifier is not.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: parsing snapshot: %w", err)
+	}
+	if s.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("bench: snapshot schema %q is not %q (incompatible version; see DESIGN.md §11)",
+			s.Schema, SnapshotSchema)
+	}
+	if s.Label == "" {
+		return nil, fmt.Errorf("bench: snapshot has no label")
+	}
+	return &s, nil
+}
+
+// LoadSnapshot reads and parses one BENCH_*.json file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	s, err := ParseSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

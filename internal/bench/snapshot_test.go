@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := &Snapshot{
+		Schema: SnapshotSchema, Label: "rt",
+		GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4,
+		Benchmarks: []Benchmark{
+			{Name: "sim/schedule-fire", NsPerOp: 12.5, AllocsPerOp: 0, BytesPerOp: 0, N: 1000},
+		},
+		Suite: &Suite{
+			Parallel: 4, DurationSec: 6, WallSeconds: 20, SimSeconds: 1400, SimPerWall: 70,
+			Experiments: []SuiteExperiment{{ID: "table1", WallSeconds: 1.5}},
+		},
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip changed the snapshot:\n%+v\nvs\n%+v", s, got)
+	}
+	again, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("Marshal is not byte-deterministic")
+	}
+}
+
+func TestSnapshotSchemaRejected(t *testing.T) {
+	if _, err := ParseSnapshot([]byte(`{"schema":"smartharvest-bench/v2","label":"x"}`)); err == nil {
+		t.Error("a different schema identifier must be rejected")
+	} else if !strings.Contains(err.Error(), "schema") {
+		t.Errorf("error %q does not mention the schema", err)
+	}
+	if _, err := ParseSnapshot([]byte(`{"schema":"smartharvest-bench/v1"}`)); err == nil {
+		t.Error("a snapshot without a label must be rejected")
+	}
+}
+
+// TestSnapshotUnknownFieldsTolerated pins the compatibility rule's
+// other half: unknown fields within the same schema version load fine.
+func TestSnapshotUnknownFieldsTolerated(t *testing.T) {
+	s, err := ParseSnapshot([]byte(`{
+		"schema": "smartharvest-bench/v1",
+		"label": "future",
+		"benchmarks": [{"name": "x", "ns_per_op": 1, "future_metric": 9}],
+		"some_new_section": {"a": 1}
+	}`))
+	if err != nil {
+		t.Fatalf("unknown fields must be tolerated: %v", err)
+	}
+	if s.Label != "future" || len(s.Benchmarks) != 1 {
+		t.Errorf("known fields lost while skipping unknown ones: %+v", s)
+	}
+}
+
+func TestLoadSnapshotFixtures(t *testing.T) {
+	for _, name := range []string{"BENCH_a.json", "BENCH_b_regressed.json", "BENCH_c_renamed.json"} {
+		s, err := LoadSnapshot(filepath.Join("testdata", name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(s.Benchmarks) != len(Micros()) {
+			t.Errorf("%s: %d benchmarks, want the %d pinned micros", name, len(s.Benchmarks), len(Micros()))
+		}
+	}
+}
+
+// TestMicrosPinned checks the pinned micro list's invariants: unique
+// stable names, a go-test twin declared for each, and runnable bodies.
+func TestMicrosPinned(t *testing.T) {
+	micros := Micros()
+	if len(micros) == 0 {
+		t.Fatal("no pinned micros")
+	}
+	seen := map[string]bool{}
+	for _, m := range micros {
+		if m.Name == "" || m.Pkg == "" || m.GoBench == "" || m.Setup == nil {
+			t.Errorf("micro %+v is missing a field", m)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate micro name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if !strings.HasPrefix(m.GoBench, "Benchmark") {
+			t.Errorf("%s: GoBench %q is not a Benchmark function", m.Name, m.GoBench)
+		}
+	}
+}
+
+// TestMeasure runs the measuring harness on every pinned micro at a
+// tiny budget and sanity-checks the numbers.
+func TestMeasure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmark bodies; skipped in -short")
+	}
+	for _, m := range Micros() {
+		got := measure(m, 2*time.Millisecond)
+		if got.Name != m.Name {
+			t.Errorf("measure(%s) returned name %q", m.Name, got.Name)
+		}
+		if got.N <= 0 || got.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement n=%d ns/op=%f", m.Name, got.N, got.NsPerOp)
+		}
+		if got.AllocsPerOp < 0 || got.BytesPerOp < 0 {
+			t.Errorf("%s: negative alloc counters: %+v", m.Name, got)
+		}
+	}
+}

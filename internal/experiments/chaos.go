@@ -66,6 +66,11 @@ func Chaos(cfg Config) (*Report, error) {
 			in.name, ms(res.P99(0)), delta, res.AvgHarvestedCores,
 			res.FaultsInjected, res.ResizeRetries, res.ResizesAborted,
 			res.Degradations, res.MissedWindows)
+		r.row("", S("intensity", in.name), N("fault_scale", in.scale),
+			N("p99_ns", float64(res.P99(0))), N("harvested_cores", res.AvgHarvestedCores),
+			N("faults", float64(res.FaultsInjected)), N("retries", float64(res.ResizeRetries)),
+			N("aborts", float64(res.ResizesAborted)), N("degradations", float64(res.Degradations)),
+			N("missed_windows", float64(res.MissedWindows)))
 	}
 	r.addf("")
 	r.addf("harvested core-seconds: fault-free %.1f", free.AvgHarvestedCores*free.Duration.Seconds())

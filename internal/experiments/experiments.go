@@ -177,11 +177,14 @@ func sanitizeTraceName(name string) string {
 	return b.String()
 }
 
-// Report is a formatted experiment result.
+// Report is a formatted experiment result. Lines carry the rendered
+// text tables and plots; Rows carry the same data as typed cells for
+// the CSV/JSON emitters (see rows.go).
 type Report struct {
 	ID    string
 	Title string
 	Lines []string
+	Rows  []Row
 }
 
 // String renders the report as text.
@@ -348,6 +351,8 @@ func Table1(cfg Config) (*Report, error) {
 		p := paper[spec.Name]
 		r.addf("%-12s %10.0f %12.2f %12.2f   (paper: %.1f / %.1f)",
 			spec.Name, spec.QPS, res.AvgBusyCores, res.AvgWindowPeak, p[0], p[1])
+		r.row("", S("workload", spec.Name), N("qps", spec.QPS),
+			N("avg_busy_cores", res.AvgBusyCores), N("avg_peak_cores", res.AvgWindowPeak))
 	}
 	return r, nil
 }
@@ -373,11 +378,15 @@ func Fig4(cfg Config) (*Report, error) {
 	base := results[0]
 	r.addf("%-22s %10s %8s %12s", "config", "P99", "vs base", "harvested")
 	r.addf("%-22s %10s %8s %12s", "no harvesting", ms(base.P99(0)), "-", "0.00")
+	r.row("", S("config", "noharvest"), N("window_ms", 0),
+		N("p99_ns", float64(base.P99(0))), N("harvested_cores", 0))
 	for i, w := range windows {
 		res := results[i+1]
 		r.addf("%-22s %10s %8s %12.2f",
 			fmt.Sprintf("smartharvest (%dms)", int(w.Milliseconds())),
 			ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+		r.row("", S("config", "smartharvest"), N("window_ms", float64(w.Milliseconds())),
+			N("p99_ns", float64(res.P99(0))), N("harvested_cores", res.AvgHarvestedCores))
 	}
 	return r, nil
 }
@@ -434,6 +443,10 @@ func Fig5(cfg Config) (*Report, error) {
 		scatter := map[string][]textplot.Point{
 			"noharvest": {{X: 0, Y: float64(base.P99(0)) / 1e6}},
 		}
+		r.row(blk.spec.Name, S("policy", "noharvest"),
+			N("p99_ns", float64(base.P99(0))),
+			N("p999_ns", float64(base.Primaries[0].Latency.P999)),
+			N("harvested_cores", 0))
 		for i, rw := range blk.rows {
 			res := results[blk.idx[i]]
 			flags := ""
@@ -443,6 +456,10 @@ func Fig5(cfg Config) (*Report, error) {
 			r.addf("%-18s %10s %8s %10s %12.2f %s",
 				rw.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
 				ms(res.Primaries[0].Latency.P999), res.AvgHarvestedCores, flags)
+			r.row(blk.spec.Name, S("policy", rw.name),
+				N("p99_ns", float64(res.P99(0))),
+				N("p999_ns", float64(res.Primaries[0].Latency.P999)),
+				N("harvested_cores", res.AvgHarvestedCores))
 			key := rw.name
 			if strings.HasPrefix(key, "fixedbuffer") {
 				key = "fixedbuffer"
@@ -518,6 +535,8 @@ func Fig6(cfg Config) (*Report, error) {
 			}
 			r.addf("%-18s %10s %8s %8.2fx",
 				rw.name, ms(with.P99(0)), pct(with.P99(0), base.P99(0)), speedup)
+			r.row(blk.batch.String(), S("policy", rw.name),
+				N("p99_ns", float64(with.P99(0))), N("batch_speedup", speedup))
 		}
 	}
 	return r, nil
@@ -571,6 +590,9 @@ func Table2(cfg Config) (*Report, error) {
 		}
 		r.addf("%-15s %12s %12s %12s %10.2f",
 			rw.name, ms(ph[0].P99), ms(ph[1].P99), ms(ph[2].P99), res.AvgHarvestedCores)
+		r.row("", S("policy", rw.name),
+			N("p99_80k_ns", float64(ph[0].P99)), N("p99_20k_ns", float64(ph[1].P99)),
+			N("p99_160k_ns", float64(ph[2].P99)), N("harvested_cores", res.AvgHarvestedCores))
 	}
 	return r, nil
 }
@@ -607,10 +629,13 @@ func Fig7(cfg Config) (*Report, error) {
 	base := results[0]
 	r.addf("%-18s %10s %8s %12s", "policy", "P99", "vs base", "harvested")
 	r.addf("%-18s %10s %8s %12s", "noharvest", ms(base.P99(0)), "-", "0.00")
+	r.row("", S("policy", "noharvest"), N("p99_ns", float64(base.P99(0))), N("harvested_cores", 0))
 	for i, rw := range rows {
 		res := results[i+1]
 		r.addf("%-18s %10s %8s %12.2f",
 			rw.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+		r.row("", S("policy", rw.name), N("p99_ns", float64(res.P99(0))),
+			N("harvested_cores", res.AvgHarvestedCores))
 	}
 	// Time-series excerpt (Figure 7a): allocated cores vs observed peak
 	// over two square-wave periods, per policy.
@@ -689,13 +714,22 @@ func multiPrimary(cfg Config, id, title string, primaries []apps.PrimarySpec, bu
 	}
 	r.addf("%s %10s %6s", header, "harvested", "trips")
 	r.addf("%s %10s %6d", baseline, "0.00", 0)
+	baseCells := []Cell{S("policy", "noharvest")}
+	for i := range base.Primaries {
+		baseCells = append(baseCells, N(fmt.Sprintf("p99_vm%d_ns", i), float64(base.P99(i))))
+	}
+	r.row("", append(baseCells, N("harvested_cores", 0), N("qos_trips", 0))...)
 	for i, rw := range rows {
 		res := results[i+1]
 		line := fmt.Sprintf("%-18s", rw.name)
+		cells := []Cell{S("policy", rw.name)}
 		for j := range res.Primaries {
 			line += fmt.Sprintf(" %9s %6s", ms(res.P99(j)), pct(res.P99(j), base.P99(j)))
+			cells = append(cells, N(fmt.Sprintf("p99_vm%d_ns", j), float64(res.P99(j))))
 		}
 		r.addf("%s %10.2f %6d", line, res.AvgHarvestedCores, res.QoSTrips)
+		r.row("", append(cells, N("harvested_cores", res.AvgHarvestedCores),
+			N("qos_trips", float64(res.QoSTrips)))...)
 	}
 	return r, nil
 }
@@ -725,6 +759,8 @@ func Fig10(cfg Config) (*Report, error) {
 		r.addf("%-22s %10s %8s %12.2f %12d",
 			mode.String(), ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
 			res.AvgHarvestedCores, res.Safeguards)
+		r.row("", S("safeguard", mode.String()), N("p99_ns", float64(res.P99(0))),
+			N("harvested_cores", res.AvgHarvestedCores), N("safeguards", float64(res.Safeguards)))
 	}
 	return r, nil
 }
@@ -766,6 +802,9 @@ func Fig11(cfg Config) (*Report, error) {
 		r.addf("%-30s %12s %12s %8s %10.2f %6d",
 			rw.name, ms(res.P99(0)), ms(res.P99(1)),
 			pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores, res.QoSTrips)
+		r.row("", S("policy", rw.name),
+			N("p99_vm0_ns", float64(res.P99(0))), N("p99_vm1_ns", float64(res.P99(1))),
+			N("harvested_cores", res.AvgHarvestedCores), N("qos_trips", float64(res.QoSTrips)))
 	}
 	return r, nil
 }
@@ -801,6 +840,8 @@ func Fig13(cfg Config) (*Report, error) {
 		r.addf("%-15s %10s %8s %12.2f %12d",
 			c.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)),
 			res.AvgHarvestedCores, res.Safeguards)
+		r.row("", S("cost", c.name), N("p99_ns", float64(res.P99(0))),
+			N("harvested_cores", res.AvgHarvestedCores), N("safeguards", float64(res.Safeguards)))
 	}
 	return r, nil
 }
@@ -837,6 +878,14 @@ func Fig14(cfg Config) (*Report, error) {
 		r.Lines = append(r.Lines,
 			cdfRow(mech.name+" grow", res.Grow),
 			cdfRow(mech.name+" shrink", res.Shrink))
+		for _, op := range []struct {
+			name string
+			s    metrics.Summary
+		}{{"grow", res.Grow}, {"shrink", res.Shrink}} {
+			r.row(mech.name, S("op", op.name),
+				N("p50_ns", float64(op.s.P50)), N("p95_ns", float64(op.s.P95)),
+				N("p99_ns", float64(op.s.P99)), N("max_ns", float64(op.s.Max)))
+		}
 		toPoints := func(cdf []metrics.CDFPoint) []textplot.Point {
 			var out []textplot.Point
 			for _, p := range cdf {
@@ -906,6 +955,9 @@ func Fig15(cfg Config) (*Report, error) {
 				r.addf("%-28s %10s %8s %12.2f",
 					fmt.Sprintf("%v %s", mech, rw.name),
 					ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+				r.row(fmt.Sprintf("qps-%.0f", blk.qps),
+					S("mechanism", fmt.Sprintf("%v", mech)), S("policy", rw.name),
+					N("p99_ns", float64(res.P99(0))), N("harvested_cores", res.AvgHarvestedCores))
 			}
 		}
 	}

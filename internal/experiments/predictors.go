@@ -159,6 +159,11 @@ func Predictors(cfg Config) (*Report, error) {
 			r.addf("%-12v %8.2f %7.0f%% %9.3f %10.1f %10s %8s",
 				kind, acc.meanAbsErr(), 100*acc.underFrac(), sgRate,
 				harvestedCS, ms(res.P99(0)), pct(res.P99(0), base.P99(0)))
+			r.row(fmt.Sprintf("class-%v", blk.class),
+				S("predictor", fmt.Sprintf("%v", kind)),
+				N("mean_abs_err_cores", acc.meanAbsErr()), N("under_frac", acc.underFrac()),
+				N("safeguard_rate", sgRate), N("harvested_core_s", harvestedCS),
+				N("p99_ns", float64(res.P99(0))))
 		}
 	}
 	return r, nil

@@ -100,6 +100,12 @@ func Sched(cfg Config) (*Report, error) {
 			res.Evictions, res.Requeues,
 			ms(int64(res.CompletionP50)), ms(int64(res.CompletionP99)),
 			res.GoodputCoreSec, slo)
+		r.row("", S("policy", res.Policy.String()), N("jobs_per_s", specs[i].rate),
+			N("submitted", float64(res.Submitted)), N("completed", float64(res.Completed)),
+			N("evictions", float64(res.Evictions)), N("requeues", float64(res.Requeues)),
+			N("completion_p50_ns", float64(res.CompletionP50)),
+			N("completion_p99_ns", float64(res.CompletionP99)),
+			N("goodput_core_s", res.GoodputCoreSec), N("slo_attainment", res.SLOAttainment()))
 		faults += res.Fleet.FaultsInjected
 		if res.Check != nil {
 			checkedRuns.Add(1)

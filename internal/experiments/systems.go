@@ -68,6 +68,9 @@ func Table3(cfg Config) (*Report, error) {
 	r.addf("%-22s %9.2fus %12s", "model inference", infer, "6.5 +- 4.1")
 	r.addf("%-22s %9.2fus %12s", "model update", update, "10.8 +- 4.6")
 	r.addf("(all well below the 25ms learning window, as in the paper)")
+	r.row("", S("operation", "feature computation"), N("measured_us", feat))
+	r.row("", S("operation", "model inference"), N("measured_us", infer))
+	r.row("", S("operation", "model update"), N("measured_us", update))
 	return r, nil
 }
 
@@ -133,12 +136,18 @@ func Ablations(cfg Config) (*Report, error) {
 	}
 	r.addf("no-harvest P99 = %s", ms(base.P99(0)))
 
+	sweepRow := func(section, label string, res *harness.Result) {
+		r.row(section, S("variant", label), N("p99_ns", float64(res.P99(0))),
+			N("harvested_cores", res.AvgHarvestedCores))
+	}
+
 	r.addf("-- predictor family --")
 	r.addf("%-22s %10s %8s %12s", "predictor", "P99", "vs base", "harvested")
 	for _, p := range preds {
 		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
 			p.name, ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+		sweepRow("predictor family", p.name, res)
 	}
 
 	r.addf("-- feature set --")
@@ -147,6 +156,7 @@ func Ablations(cfg Config) (*Report, error) {
 		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
 			featureLabel(fs), ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+		sweepRow("feature set", featureLabel(fs), res)
 	}
 
 	r.addf("-- polling interval --")
@@ -155,6 +165,7 @@ func Ablations(cfg Config) (*Report, error) {
 		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
 			fmt.Sprintf("%dus", us), ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+		sweepRow("polling interval", fmt.Sprintf("%dus", us), res)
 	}
 
 	r.addf("-- learning rate --")
@@ -163,6 +174,7 @@ func Ablations(cfg Config) (*Report, error) {
 		res := take()
 		r.addf("%-22s %10s %8s %12.2f",
 			fmt.Sprintf("%.2f", lr), ms(res.P99(0)), pct(res.P99(0), base.P99(0)), res.AvgHarvestedCores)
+		sweepRow("learning rate", fmt.Sprintf("%.2f", lr), res)
 	}
 	return r, nil
 }
@@ -199,9 +211,13 @@ func Churn(cfg Config) (*Report, error) {
 	r.addf("%-12s %14s %14s", "tenant", "P99", "requests")
 	for _, p := range res.Primaries {
 		r.addf("%-12s %14s %14d", p.Name, ms(p.Latency.P99), p.Completed)
+		r.row("tenants", S("tenant", p.Name),
+			N("p99_ns", float64(p.Latency.P99)), N("requests", float64(p.Completed)))
 	}
 	r.addf("avg harvested over run: %.2f cores; resizes %d, safeguards %d",
 		res.AvgHarvestedCores, res.Resizes, res.Safeguards)
+	r.row("", N("harvested_cores", res.AvgHarvestedCores),
+		N("resizes", float64(res.Resizes)), N("safeguards", float64(res.Safeguards)))
 	// Allocation trace: the primary target should track ~alloc of the
 	// current phase (drop after the departure).
 	ts := res.TargetSeries.Downsample(12)
@@ -246,6 +262,12 @@ func Fleet(cfg Config) (*Report, error) {
 		r.addf("%-14s per-server harvest spread (core-s): %s", pol.name, res.Spread)
 		r.addf("%-14s tenant latency: P50=%s P99=%s over %d requests",
 			pol.name, ms(res.TenantLatency.P50), ms(res.TenantLatency.P99), res.TenantLatency.Count)
+		r.row("", S("policy", pol.name),
+			N("placed", float64(res.Placed)), N("rejected", float64(res.Rejected)),
+			N("departed", float64(res.Departed)), N("harvested_core_s", res.HarvestedCoreSec),
+			N("elastic_core_s", res.ElasticCPUSec),
+			N("tenant_p50_ns", float64(res.TenantLatency.P50)),
+			N("tenant_p99_ns", float64(res.TenantLatency.P99)))
 	}
 	r.addf("(every agent runs independently, as in the paper §3.3; placement is first-fit)")
 	return r, nil
@@ -308,12 +330,19 @@ func SafeguardSweep(cfg Config) (*Report, error) {
 		r.addf("%-24s %10s %8s %10s %6s", "threshold/frac", "P99", "vs base", "harvested", "trips")
 		r.addf("%-24s %10s %8s %10.2f %6s", "guard off",
 			ms(off.P99(0)), pct(off.P99(0), baseRes.P99(0)), off.AvgHarvestedCores, "-")
+		section := fmt.Sprintf("sweep-%d", si)
+		r.row(section, S("criterion", "guard off"),
+			N("p99_ns", float64(off.P99(0))), N("harvested_cores", off.AvgHarvestedCores))
 		for ci, c := range criteria {
 			res := block[2+ci]
 			r.addf("%-24s %10s %8s %10.2f %6d",
 				fmt.Sprintf("%dus / %.1f%%", int(c.thresh.Microseconds()), c.frac*100),
 				ms(res.P99(0)), pct(res.P99(0), baseRes.P99(0)),
 				res.AvgHarvestedCores, res.QoSTrips)
+			r.row(section,
+				S("criterion", fmt.Sprintf("%dus/%.1f%%", int(c.thresh.Microseconds()), c.frac*100)),
+				N("p99_ns", float64(res.P99(0))), N("harvested_cores", res.AvgHarvestedCores),
+				N("qos_trips", float64(res.QoSTrips)))
 		}
 	}
 	return r, nil
@@ -344,6 +373,9 @@ func MemHarvest(cfg Config) (*Report, error) {
 		}
 		r.addf("%-18s %14.1f %14.2f %10d %9d",
 			res.Policy, res.AvgHarvestedGB, res.FaultSeconds, res.ShortEpisodes, res.Reclaims)
+		r.row("", S("policy", res.Policy),
+			N("harvested_gb", res.AvgHarvestedGB), N("fault_gb_s", res.FaultSeconds),
+			N("short_episodes", float64(res.ShortEpisodes)), N("reclaims", float64(res.Reclaims)))
 	}
 	r.addf("(same CSOAA learner as the CPU agent, zero per-workload tuning: it lands on")
 	r.addf(" the fixed-headroom frontier automatically; actuation differs from CPU —")

@@ -227,6 +227,27 @@ type scheduler struct {
 	res *Result
 }
 
+// BenchConfig is the pinned small-fleet configuration behind the perf
+// snapshot's sched/placement entry (internal/bench) and the
+// BenchmarkPlacement twin in this package's tests: a churny two-server
+// fleet whose reconcile loop exercises placement, eviction, and requeue
+// within one simulated second. Changing it invalidates BENCH_*.json
+// comparisons for that entry, so treat the constants as frozen.
+func BenchConfig(seed uint64) Config {
+	return Config{
+		Fleet: cluster.Config{
+			Servers:      2,
+			ArrivalRate:  2.5,
+			MeanLifetime: 2 * sim.Second,
+			Duration:     sim.Second,
+			Warmup:       250 * sim.Millisecond,
+			Seed:         seed,
+		},
+		Policy:      Predicted,
+		ArrivalRate: 4,
+	}
+}
+
 // Run executes one scheduler simulation. Everything is deterministic
 // from the fleet seed: job arrivals draw from their own RNG stream, so
 // the tenant process is byte-identical to a plain cluster run with the
