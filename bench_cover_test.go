@@ -43,6 +43,7 @@ var experimentBenchmarks = map[string]string{
 	"BenchmarkGuardSweep": "guard-sweep",
 	"BenchmarkMemHarvest": "memharvest",
 	"BenchmarkChaos":      "chaos",
+	"BenchmarkFleetChaos": "fleetchaos",
 	"BenchmarkPredictors": "predictors",
 }
 

@@ -81,6 +81,7 @@ func BenchmarkSched(b *testing.B)      { benchExperiment(b, "sched") }
 func BenchmarkGuardSweep(b *testing.B) { benchExperiment(b, "guard-sweep") }
 func BenchmarkMemHarvest(b *testing.B) { benchExperiment(b, "memharvest") }
 func BenchmarkChaos(b *testing.B)      { benchExperiment(b, "chaos") }
+func BenchmarkFleetChaos(b *testing.B) { benchExperiment(b, "fleetchaos") }
 func BenchmarkPredictors(b *testing.B) { benchExperiment(b, "predictors") }
 
 // BenchmarkTable3_* are the real microbenchmarks behind the paper's

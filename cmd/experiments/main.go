@@ -31,6 +31,10 @@
 //	-check     attach the invariant checker (internal/check) to every
 //	           scenario run; any violation fails its experiment with the
 //	           checker's report, and a verification tally is printed
+//	-faults    fault plan injected into the sched experiment's fleet
+//	           (key=value pairs; see internal/faults.ParsePlan for the
+//	           agent and fleet keys). Experiments that own their plans
+//	           (chaos, fleetchaos) ignore it.
 //	-predictor swap the peak predictor on every smartharvest scenario
 //	           (csoaa, adagrad, ewma, periodic, mlp, ensemble); the
 //	           predictors experiment ignores this and always sweeps all
@@ -89,7 +93,7 @@ func main() {
 	outDir := flag.String("out", "", "directory to also write per-experiment reports to")
 	traceDir := flag.String("trace", "", "directory to write per-scenario JSONL event traces to")
 	checkRuns := flag.Bool("check", false, "verify safety invariants on every scenario run (fails the experiment on violation)")
-	faultsPlan := flag.String("faults", "", "fault plan for the sched experiment's fleet (key=value pairs, e.g. 'drop=0.01,stall=0.001')")
+	faultsPlan := flag.String("faults", "", "fault plan for the sched experiment's fleet (key=value pairs; agent keys: hfail, hdelay, drop, stale, noise, stall, crash; fleet keys: scrash, gdrop, gdelay, rstale, rloss, srestartdur, gdelaydur; e.g. 'drop=0.01,scrash=0.002')")
 	predictor := flag.String("predictor", "", "peak predictor for every smartharvest row: csoaa (default), adagrad, ewma, periodic, mlp, ensemble")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gridFile := flag.String("grid", "", "run the declarative JSON experiment grid in FILE (see internal/bench)")

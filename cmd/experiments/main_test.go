@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"smartharvest/internal/faults"
+)
+
+// TestFaultsFlagRoundTrip pins the -faults flag syntax this command
+// feeds into experiments.Config.Faults: agent keys, fleet keys, and
+// mixed plans must survive parse → String → parse unchanged.
+func TestFaultsFlagRoundTrip(t *testing.T) {
+	empty, err := faults.ParsePlan("")
+	if err != nil {
+		t.Fatalf("ParsePlan(\"\"): %v", err)
+	}
+	if empty != (faults.Plan{}) || empty.String() != "none" {
+		t.Errorf("empty spec parsed to %+v (%q), want the zero plan rendered as \"none\"", empty, empty)
+	}
+	cases := []string{
+		"drop=0.01,stall=0.001",
+		"hfail=0.05,hdelay=0.02,hdelaymean=2ms,hdelayp99=10ms",
+		"scrash=0.002",
+		"scrash=0.004,srestartdur=400ms",
+		"gdrop=0.2,gdelay=0.1,gdelaydur=10ms",
+		"rstale=0.1,rloss=0.05",
+		"drop=0.01,scrash=0.002,gdrop=0.2,rstale=0.1,rloss=0.05",
+	}
+	for _, in := range cases {
+		plan, err := faults.ParsePlan(in)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", in, err)
+			continue
+		}
+		again, err := faults.ParsePlan(plan.String())
+		if err != nil {
+			t.Errorf("ParsePlan(%q).String() = %q does not reparse: %v", in, plan.String(), err)
+			continue
+		}
+		if again != plan {
+			t.Errorf("ParsePlan(%q) round-trip changed the plan:\n first %+v\nsecond %+v", in, plan, again)
+		}
+	}
+}
+
+// TestFaultsFlagRejectsGarbage pins that a mistyped -faults value exits
+// with a parse error instead of running with a silently empty plan.
+func TestFaultsFlagRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"bogus=0.1",      // unknown key
+		"scrash 0.1",     // missing '='
+		"gdrop=",         // empty value
+		"gdrop=high",     // not a number
+		"rstale=-0.5",    // negative probability
+		"scrash=1.01",    // probability above 1
+		"srestartdur=10", // duration without a unit
+		"gdelaydur=-5ms", // negative duration
+		"gdrop=0.1,",     // trailing empty pair
+	}
+	for _, in := range cases {
+		if _, err := faults.ParsePlan(in); err == nil {
+			t.Errorf("ParsePlan(%q) accepted garbage", in)
+		}
+	}
+}

@@ -133,7 +133,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	guard := flag.Bool("long-term-safeguard", true, "enable the long-term QoS safeguard")
 	speedup := flag.Bool("speedup", false, "also run a NoHarvest baseline and report the batch speedup")
-	faultSpec := flag.String("faults", "", "fault-injection plan as key=value pairs, e.g. hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms (keys: hfail, hdelay, drop, stale, noise, stall, crash, hdelaymean, hdelayp99, stalldur, restartdur, losemodel)")
+	faultSpec := flag.String("faults", "", "fault-injection plan as key=value pairs, e.g. hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms (keys: hfail, hdelay, drop, stale, noise, stall, crash, hdelaymean, hdelayp99, stalldur, restartdur, losemodel; fleet keys scrash, gdrop, gdelay, rstale, rloss need a multi-server fleet and are rejected here)")
 	trace := flag.String("trace", "", "write a JSONL event trace of the run to this file (poll samples included)")
 	checkRun := flag.Bool("check", false, "verify the run against the safety invariants and print the report (exit 1 on violation)")
 	flag.Parse()

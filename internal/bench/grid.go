@@ -24,7 +24,7 @@ const GridSchema = "smartharvest-grid/v1"
 type Grid struct {
 	Schema string `json:"schema"`
 	// Defaults seed every run's unset fields.
-	Defaults *GridRun `json:"defaults,omitempty"`
+	Defaults *GridRun  `json:"defaults,omitempty"`
 	Runs     []GridRun `json:"runs"`
 }
 

@@ -908,6 +908,34 @@ func (c *Checker) OnPredictorInfo(e obs.PredictorInfo) {
 	c.enter(obs.Record{Kind: obs.KindPredictorInfo, PredictorInfo: e}, e.At)
 }
 
+// Fleet-level events carry scheduler invariants verified by the
+// JobChecker; the per-machine Checker only records them for context.
+
+func (c *Checker) OnServerCrash(e obs.ServerCrash) {
+	c.ring.OnServerCrash(e)
+	c.enter(obs.Record{Kind: obs.KindServerCrash, ServerCrash: e}, e.At)
+}
+func (c *Checker) OnServerRestart(e obs.ServerRestart) {
+	c.ring.OnServerRestart(e)
+	c.enter(obs.Record{Kind: obs.KindServerRestart, ServerRestart: e}, e.At)
+}
+func (c *Checker) OnServerQuarantine(e obs.ServerQuarantine) {
+	c.ring.OnServerQuarantine(e)
+	c.enter(obs.Record{Kind: obs.KindServerQuarantine, ServerQuarantine: e}, e.At)
+}
+func (c *Checker) OnServerProbation(e obs.ServerProbation) {
+	c.ring.OnServerProbation(e)
+	c.enter(obs.Record{Kind: obs.KindServerProbation, ServerProbation: e}, e.At)
+}
+func (c *Checker) OnPlacementRetry(e obs.PlacementRetry) {
+	c.ring.OnPlacementRetry(e)
+	c.enter(obs.Record{Kind: obs.KindPlacementRetry, PlacementRetry: e}, e.At)
+}
+func (c *Checker) OnAdmissionDegraded(e obs.AdmissionDegraded) {
+	c.ring.OnAdmissionDegraded(e)
+	c.enter(obs.Record{Kind: obs.KindAdmissionDegraded, AdmissionDegraded: e}, e.At)
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

@@ -78,7 +78,7 @@ func boundJobs(t *testing.T) *check.JobChecker {
 	return c
 }
 
-// replayJobs feeds captured job records into a JobChecker.
+// replayJobs feeds captured job and fleet records into a JobChecker.
 func replayJobs(c *check.JobChecker, recs []obs.Record) *check.Report {
 	for _, r := range recs {
 		switch r.Kind {
@@ -94,6 +94,18 @@ func replayJobs(c *check.JobChecker, recs []obs.Record) *check.Report {
 			c.OnJobComplete(r.JobComplete)
 		case obs.KindJobSLOMiss:
 			c.OnJobSLOMiss(r.JobSLOMiss)
+		case obs.KindServerCrash:
+			c.OnServerCrash(r.ServerCrash)
+		case obs.KindServerRestart:
+			c.OnServerRestart(r.ServerRestart)
+		case obs.KindServerQuarantine:
+			c.OnServerQuarantine(r.ServerQuarantine)
+		case obs.KindServerProbation:
+			c.OnServerProbation(r.ServerProbation)
+		case obs.KindPlacementRetry:
+			c.OnPlacementRetry(r.PlacementRetry)
+		case obs.KindAdmissionDegraded:
+			c.OnAdmissionDegraded(r.AdmissionDegraded)
 		}
 	}
 	return c.Finish()

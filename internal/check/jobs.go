@@ -29,6 +29,26 @@ const (
 	// InvJobSLO: SLO misses are reported truthfully — only for
 	// deadline-bearing jobs, after the deadline, with the lateness exact.
 	InvJobSLO = "job-slo"
+	// InvServerHealth: placements respect server health — no grant lands
+	// on a crashed or quarantined server, a server crashes/restarts in
+	// strict alternation, and a restart reports its true downtime.
+	InvServerHealth = "server-health"
+	// InvOrphanProgress: a server crash orphans every job running on it —
+	// each one is evicted (progress-conserving, budget-charged) or
+	// completed at the crash instant; none silently keeps "running" on a
+	// dead server, so no work is lost or double-counted.
+	InvOrphanProgress = "orphan-progress"
+	// InvQuarantineTiming: quarantine and probation windows are legal —
+	// quarantine durations follow the configured bounded doubling,
+	// probation begins only once the quarantine has fully elapsed and
+	// lasts exactly the configured duration.
+	InvQuarantineTiming = "quarantine-timing"
+	// InvPlacementRetry: placement retries are bounded and back off
+	// exponentially from the configured base.
+	InvPlacementRetry = "placement-retry"
+	// InvAdmissionLegal: degraded-admission transitions alternate
+	// enter/exit and honor the configured fault-count thresholds.
+	InvAdmissionLegal = "admission-legality"
 )
 
 // JobConfig binds a JobChecker to the facts of one scheduler run.
@@ -38,6 +58,27 @@ type JobConfig struct {
 	MaxRequeues int
 	// Servers is the fleet size; placements must name a server in range.
 	Servers int
+
+	// Fleet-resilience knobs (all optional; zero skips the matching
+	// checks). These mirror sched.Config's resilience parameters.
+
+	// MaxPlacementRetries bounds PlacementRetry.Attempt.
+	MaxPlacementRetries int
+	// PlacementBackoff is the base retry backoff; attempt k must back off
+	// exactly PlacementBackoff << (k-1).
+	PlacementBackoff sim.Time
+	// QuarantineDur and QuarantineMax bound quarantine windows: every
+	// quarantine must last min(QuarantineDur << k, QuarantineMax) for
+	// some k >= 0.
+	QuarantineDur sim.Time
+	QuarantineMax sim.Time
+	// ProbationDur is the exact probation window length.
+	ProbationDur sim.Time
+	// DegradeEnter / DegradeExit are the windowed fault-count thresholds
+	// for entering and leaving degraded admission (checked when
+	// DegradeEnter > 0).
+	DegradeEnter int
+	DegradeExit  int
 }
 
 // Job lifecycle states tracked by the JobChecker.
@@ -94,8 +135,26 @@ type JobChecker struct {
 	jobs      map[string]*jobState
 	committed []int // per-server cores granted to running jobs
 
+	// Fleet health tracked from server-* events (sized Servers at Bind;
+	// nil when the fleet size is unknown).
+	health []serverHealth
+	// orphans are jobs that were running on a server when it crashed;
+	// each must be evicted or completed at the crash instant.
+	orphans  map[string]bool
+	orphanAt sim.Time
+	degraded bool // degraded-admission state from AdmissionDegraded events
+
 	report   Report
 	finished bool
+}
+
+// serverHealth is one server's state as reconstructed from the event
+// stream.
+type serverHealth struct {
+	crashed     bool
+	crashAt     sim.Time
+	quarantined bool
+	quarUntil   sim.Time
 }
 
 // NewJobChecker returns an unbound JobChecker; call Bind before events
@@ -116,6 +175,7 @@ func (c *JobChecker) Bind(cfg JobConfig) error {
 	c.cfg = cfg
 	if cfg.Servers > 0 {
 		c.committed = make([]int, cfg.Servers)
+		c.health = make([]serverHealth, cfg.Servers)
 	}
 	c.bound = true
 	return nil
@@ -165,6 +225,17 @@ func (c *JobChecker) enter(rec obs.Record, at sim.Time) {
 		c.lastAt = at
 	}
 	c.seenTime = true
+	// Orphaned jobs must be resolved (evicted or completed) at the crash
+	// instant; virtual time advancing past it with orphans outstanding
+	// means their work was silently lost.
+	if len(c.orphans) > 0 && at > c.orphanAt {
+		for job := range c.orphans {
+			c.violatef(InvOrphanProgress, at, rec,
+				"job %q was running on a server that crashed at %v and was never evicted or completed",
+				job, c.orphanAt)
+		}
+		clear(c.orphans)
+	}
 }
 
 // serverOK validates a placement's server index and returns whether the
@@ -231,6 +302,15 @@ func (c *JobChecker) OnJobStart(e obs.JobStart) {
 				e.Job, e.Grant, e.Server, free, e.Harvest, c.committed[e.Server])
 		}
 		c.committed[e.Server] += e.Grant
+		if h := &c.health[e.Server]; h.crashed {
+			c.violatef(InvServerHealth, e.At, rec,
+				"job %q granted cores on server %d, which crashed at %v and has not restarted",
+				e.Job, e.Server, h.crashAt)
+		} else if h.quarantined && e.At < h.quarUntil {
+			c.violatef(InvServerHealth, e.At, rec,
+				"job %q granted cores on server %d while quarantined until %v",
+				e.Job, e.Server, h.quarUntil)
+		}
 	}
 	if e.Attempt != j.evictions+1 {
 		c.violatef(InvJobLifecycle, e.At, rec,
@@ -301,6 +381,7 @@ func (c *JobChecker) OnJobEvict(e obs.JobEvict) {
 		}
 	}
 	c.release(j)
+	delete(c.orphans, e.Job)
 	j.progress = e.Progress
 	j.evictions = e.Evictions
 	if e.Final {
@@ -379,6 +460,7 @@ func (c *JobChecker) OnJobComplete(e obs.JobComplete) {
 			"job %q completed with eviction count %d, want %d", e.Job, e.Evictions, j.evictions)
 	}
 	c.release(j)
+	delete(c.orphans, e.Job)
 	j.phase = jobDone
 	j.progress = j.work
 }
@@ -416,6 +498,214 @@ func (c *JobChecker) OnJobSLOMiss(e obs.JobSLOMiss) {
 			"SLO miss reports %v late, deadline %v at time %v gives %v", e.Late, j.deadline, e.At, want)
 	}
 	j.sloMissed = true
+}
+
+// fleetServerOK validates a fleet event's server index and returns
+// whether health can be consulted.
+func (c *JobChecker) fleetServerOK(inv string, server int, at sim.Time, rec obs.Record) bool {
+	if c.cfg.Servers > 0 && (server < 0 || server >= c.cfg.Servers) {
+		c.violatef(inv, at, rec, "server %d outside [0, %d)", server, c.cfg.Servers)
+		return false
+	}
+	return c.health != nil && server >= 0 && server < len(c.health)
+}
+
+// legalQuarantine reports whether dur is min(base << k, max) for some
+// k >= 0 — the bounded-doubling contract quarantine windows must follow.
+func legalQuarantine(dur, base, max sim.Time) bool {
+	for k := 0; k < 63; k++ {
+		step := base << k
+		if max > 0 && step >= max {
+			return dur == max
+		}
+		if dur == step {
+			return true
+		}
+		if step > dur {
+			return false
+		}
+	}
+	return false
+}
+
+// OnServerCrash implements obs.Observer: the server goes down, and every
+// job running on it becomes an orphan that must be resolved at this
+// instant.
+func (c *JobChecker) OnServerCrash(e obs.ServerCrash) {
+	c.ring.OnServerCrash(e)
+	rec := obs.Record{Kind: obs.KindServerCrash, ServerCrash: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if e.Down <= 0 {
+		c.violatef(InvServerHealth, e.At, rec,
+			"server %d crash with non-positive downtime %v", e.Server, e.Down)
+	}
+	if !c.fleetServerOK(InvServerHealth, e.Server, e.At, rec) {
+		return
+	}
+	h := &c.health[e.Server]
+	if h.crashed {
+		c.violatef(InvServerHealth, e.At, rec,
+			"server %d crashed again while already down since %v", e.Server, h.crashAt)
+	}
+	h.crashed = true
+	h.crashAt = e.At
+	for name, j := range c.jobs {
+		if j.phase == jobRunning && j.server == e.Server {
+			if c.orphans == nil {
+				c.orphans = make(map[string]bool)
+			}
+			c.orphans[name] = true
+		}
+	}
+	c.orphanAt = e.At
+}
+
+// OnServerRestart implements obs.Observer.
+func (c *JobChecker) OnServerRestart(e obs.ServerRestart) {
+	c.ring.OnServerRestart(e)
+	rec := obs.Record{Kind: obs.KindServerRestart, ServerRestart: e}
+	c.enter(rec, e.At)
+	if !c.bound || !c.fleetServerOK(InvServerHealth, e.Server, e.At, rec) {
+		return
+	}
+	h := &c.health[e.Server]
+	if !h.crashed {
+		c.violatef(InvServerHealth, e.At, rec,
+			"server %d restart without a matching crash", e.Server)
+	} else if want := e.At - h.crashAt; e.Down != want {
+		c.violatef(InvServerHealth, e.At, rec,
+			"server %d restart reports downtime %v, crashed at %v so want %v",
+			e.Server, e.Down, h.crashAt, want)
+	}
+	h.crashed = false
+}
+
+// OnServerQuarantine implements obs.Observer.
+func (c *JobChecker) OnServerQuarantine(e obs.ServerQuarantine) {
+	c.ring.OnServerQuarantine(e)
+	rec := obs.Record{Kind: obs.KindServerQuarantine, ServerQuarantine: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if e.Until <= e.At {
+		c.violatef(InvQuarantineTiming, e.At, rec,
+			"server %d quarantined until %v, not after the event time %v", e.Server, e.Until, e.At)
+	}
+	if !e.Crash && e.Failures < 1 {
+		c.violatef(InvQuarantineTiming, e.At, rec,
+			"server %d quarantined for %d failures without a crash", e.Server, e.Failures)
+	}
+	if c.cfg.QuarantineDur > 0 {
+		if dur := e.Until - e.At; !legalQuarantine(dur, c.cfg.QuarantineDur, c.cfg.QuarantineMax) {
+			c.violatef(InvQuarantineTiming, e.At, rec,
+				"server %d quarantine lasts %v, want min(%v << k, %v)",
+				e.Server, dur, c.cfg.QuarantineDur, c.cfg.QuarantineMax)
+		}
+	}
+	if !c.fleetServerOK(InvQuarantineTiming, e.Server, e.At, rec) {
+		return
+	}
+	h := &c.health[e.Server]
+	if h.quarantined && e.At < h.quarUntil {
+		c.violatef(InvQuarantineTiming, e.At, rec,
+			"server %d re-quarantined at %v inside its active quarantine (until %v)",
+			e.Server, e.At, h.quarUntil)
+	}
+	h.quarantined = true
+	h.quarUntil = e.Until
+}
+
+// OnServerProbation implements obs.Observer.
+func (c *JobChecker) OnServerProbation(e obs.ServerProbation) {
+	c.ring.OnServerProbation(e)
+	rec := obs.Record{Kind: obs.KindServerProbation, ServerProbation: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if c.cfg.ProbationDur > 0 {
+		if want := e.At + c.cfg.ProbationDur; e.Until != want {
+			c.violatef(InvQuarantineTiming, e.At, rec,
+				"server %d probation until %v, want %v", e.Server, e.Until, want)
+		}
+	}
+	if !c.fleetServerOK(InvQuarantineTiming, e.Server, e.At, rec) {
+		return
+	}
+	h := &c.health[e.Server]
+	if !h.quarantined {
+		c.violatef(InvQuarantineTiming, e.At, rec,
+			"server %d entered probation without being quarantined", e.Server)
+	} else if e.At < h.quarUntil {
+		c.violatef(InvQuarantineTiming, e.At, rec,
+			"server %d probation at %v cuts its quarantine (until %v) short",
+			e.Server, e.At, h.quarUntil)
+	}
+	h.quarantined = false
+}
+
+// OnPlacementRetry implements obs.Observer.
+func (c *JobChecker) OnPlacementRetry(e obs.PlacementRetry) {
+	c.ring.OnPlacementRetry(e)
+	rec := obs.Record{Kind: obs.KindPlacementRetry, PlacementRetry: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if _, ok := c.jobs[e.Job]; !ok {
+		c.violatef(InvPlacementRetry, e.At, rec, "placement retry for unsubmitted job %q", e.Job)
+	}
+	if e.Attempt < 1 {
+		c.violatef(InvPlacementRetry, e.At, rec,
+			"job %q placement retry attempt %d, want >= 1", e.Job, e.Attempt)
+		return
+	}
+	if c.cfg.MaxPlacementRetries > 0 && e.Attempt > c.cfg.MaxPlacementRetries {
+		c.violatef(InvPlacementRetry, e.At, rec,
+			"job %q placement retry attempt %d exceeds the budget %d",
+			e.Job, e.Attempt, c.cfg.MaxPlacementRetries)
+	}
+	if c.cfg.PlacementBackoff > 0 && e.Attempt <= 62 {
+		if want := c.cfg.PlacementBackoff << (e.Attempt - 1); e.Backoff != want {
+			c.violatef(InvPlacementRetry, e.At, rec,
+				"job %q retry %d backs off %v, want %v (base %v doubled per attempt)",
+				e.Job, e.Attempt, e.Backoff, want, c.cfg.PlacementBackoff)
+		}
+	}
+}
+
+// OnAdmissionDegraded implements obs.Observer.
+func (c *JobChecker) OnAdmissionDegraded(e obs.AdmissionDegraded) {
+	c.ring.OnAdmissionDegraded(e)
+	rec := obs.Record{Kind: obs.KindAdmissionDegraded, AdmissionDegraded: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	if e.Entered == c.degraded {
+		if e.Entered {
+			c.violate(InvAdmissionLegal, e.At, rec, "admission degraded twice without recovering")
+		} else {
+			c.violate(InvAdmissionLegal, e.At, rec, "admission recovery without being degraded")
+		}
+	}
+	if c.cfg.DegradeEnter > 0 {
+		if e.Entered && e.Faults < c.cfg.DegradeEnter {
+			c.violatef(InvAdmissionLegal, e.At, rec,
+				"admission degraded on %d windowed faults, threshold is %d",
+				e.Faults, c.cfg.DegradeEnter)
+		}
+		if !e.Entered && e.Faults > c.cfg.DegradeExit {
+			c.violatef(InvAdmissionLegal, e.At, rec,
+				"admission recovered on %d windowed faults, above the exit threshold %d",
+				e.Faults, c.cfg.DegradeExit)
+		}
+	}
+	c.degraded = e.Entered
 }
 
 // Non-job events only feed the flight recorder and shared checks.

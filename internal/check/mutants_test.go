@@ -80,6 +80,24 @@ func (r *recorder) OnJobSLOMiss(e obs.JobSLOMiss) {
 func (r *recorder) OnPredictorInfo(e obs.PredictorInfo) {
 	r.recs = append(r.recs, obs.Record{Kind: obs.KindPredictorInfo, PredictorInfo: e})
 }
+func (r *recorder) OnServerCrash(e obs.ServerCrash) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindServerCrash, ServerCrash: e})
+}
+func (r *recorder) OnServerRestart(e obs.ServerRestart) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindServerRestart, ServerRestart: e})
+}
+func (r *recorder) OnServerQuarantine(e obs.ServerQuarantine) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindServerQuarantine, ServerQuarantine: e})
+}
+func (r *recorder) OnServerProbation(e obs.ServerProbation) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindServerProbation, ServerProbation: e})
+}
+func (r *recorder) OnPlacementRetry(e obs.PlacementRetry) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPlacementRetry, PlacementRetry: e})
+}
+func (r *recorder) OnAdmissionDegraded(e obs.AdmissionDegraded) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindAdmissionDegraded, AdmissionDegraded: e})
+}
 
 // replay feeds captured records into a checker as if the run were live.
 func replay(c *check.Checker, recs []obs.Record) *check.Report {

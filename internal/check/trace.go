@@ -65,6 +65,16 @@ var traceSchema = map[string]map[string]fieldKind{
 	obs.KindJobComplete.String():   {"job": fStr, "server": fNum, "elapsed": fNum, "evictions": fNum},
 	obs.KindJobSLOMiss.String():    {"job": fStr, "deadline": fNum, "late": fNum},
 	obs.KindPredictorInfo.String(): {"name": fStr, "classes": fNum},
+	obs.KindServerCrash.String():   {"server": fNum, "down": fNum},
+	obs.KindServerRestart.String(): {"server": fNum, "down": fNum},
+	obs.KindServerQuarantine.String(): {
+		"server": fNum, "failures": fNum, "crash": fBool, "until": fNum,
+	},
+	obs.KindServerProbation.String(): {"server": fNum, "until": fNum},
+	obs.KindPlacementRetry.String(): {
+		"job": fStr, "server": fNum, "attempt": fNum, "backoff": fNum,
+	},
+	obs.KindAdmissionDegraded.String(): {"entered": fBool, "faults": fNum, "window": fNum},
 }
 
 // validClamp is the closed set of clamp-reason strings a window decision

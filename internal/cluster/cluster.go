@@ -69,8 +69,12 @@ type Config struct {
 	DisableElasticBully bool
 
 	// Faults injects deterministic faults into every server (each server
-	// gets its own injector stream derived from Seed). The zero plan
-	// injects nothing and draws nothing.
+	// gets its own injector stream derived from Seed) and, for the fleet
+	// fault kinds, into the fleet itself: server crashes here, and the
+	// scheduler↔server control-plane faults through the FleetInjector the
+	// scheduler consults. The zero plan injects nothing and draws
+	// nothing; a fleet-only plan creates no per-server injectors, so the
+	// per-server RNG streams match a fault-free run exactly.
 	Faults faults.Plan
 	// Observer receives fleet-level events: fault injections and, when
 	// the fleet is driven by a scheduler, the job lifecycle events. The
@@ -217,6 +221,13 @@ type Fleet struct {
 	runErr    error
 	end       sim.Time
 	finished  bool
+
+	// Fleet-chaos state (nil/empty without fleet fault kinds).
+	fleetInj  *faults.FleetInjector
+	crashed   []bool
+	crashAt   []sim.Time
+	onCrash   func(server int)
+	onRestart func(server int)
 }
 
 // NewFleet builds the fleet: servers, agents, the tenant arrival process,
@@ -242,10 +253,11 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		hvCfg.Mechanism = cfg.Mechanism
 		hvCfg.Seed = rng.Uint64()
 		// The injector (and its RNG draw) exists only when the plan
-		// injects something, keeping fault-free runs byte-identical to
-		// builds that never heard of fault injection.
+		// injects agent-level faults, keeping fault-free runs — and
+		// fleet-only fault runs — byte-identical on the per-server streams
+		// to builds that never heard of fault injection.
 		var inj *faults.Injector
-		if cfg.Faults.Enabled() {
+		if cfg.Faults.AgentEnabled() {
 			var err error
 			inj, err = faults.NewInjector(cfg.Faults, simrng.New(rng.Uint64()), loop.Now, cfg.Observer)
 			if err != nil {
@@ -288,6 +300,37 @@ func NewFleet(cfg Config) (*Fleet, error) {
 		f.servers[i] = &server{
 			machine: machine, agent: agent, evm: evm,
 			tenants: map[*tenant]struct{}{}, maxAlloc: maxAlloc,
+		}
+	}
+
+	// Fleet-level fault machinery. The injector's stream is derived from
+	// the seed directly — not drawn from the master rng — so enabling
+	// fleet faults leaves the tenant and per-server streams untouched,
+	// and a zero fleet plan (which constructs nothing here) is
+	// byte-identical to a fault-free run.
+	if cfg.Faults.FleetEnabled() {
+		inj, err := faults.NewFleetInjector(cfg.Faults, simrng.New(cfg.Seed^0xF1EE7C4A05), loop.Now, cfg.Observer)
+		if err != nil {
+			return nil, err
+		}
+		f.fleetInj = inj
+		f.crashed = make([]bool, cfg.Servers)
+		f.crashAt = make([]sim.Time, cfg.Servers)
+		if inj.Plan().ServerCrashProb > 0 {
+			// Crash decisions tick at the learning-window cadence, per up
+			// server in index order, starting after warmup (the warmup
+			// snapshot must be taken on an intact fleet).
+			const tick = 25 * sim.Millisecond
+			loop.NewTicker(cfg.Warmup+tick, tick, func() {
+				for i := range f.servers {
+					if f.crashed[i] {
+						continue
+					}
+					if down := f.fleetInj.CrashTick(i); down > 0 {
+						f.crashServer(i, down)
+					}
+				}
+			})
 		}
 	}
 
@@ -371,6 +414,52 @@ func NewFleet(cfg Config) (*Fleet, error) {
 	return f, nil
 }
 
+// crashServer takes server i's harvesting stack down for down: the
+// ServerCrash event fires, the scheduler's crash handler orphans the
+// jobs running there, and the agent dies (its watchdog failsafe returns
+// the tenants' cores first). Tenant primary VMs ride out the outage —
+// the failure domain is the harvesting stack, not the host.
+func (f *Fleet) crashServer(i int, down sim.Time) {
+	now := f.loop.Now()
+	f.crashed[i] = true
+	f.crashAt[i] = now
+	if o := f.cfg.Observer; o != nil {
+		o.OnServerCrash(obs.ServerCrash{At: now, Server: i, Down: down})
+	}
+	if f.onCrash != nil {
+		f.onCrash(i)
+	}
+	f.servers[i].agent.ForceCrash(down, f.cfg.Faults.LoseModel)
+	f.loop.After(down, func() {
+		f.crashed[i] = false
+		if o := f.cfg.Observer; o != nil {
+			o.OnServerRestart(obs.ServerRestart{At: f.loop.Now(), Server: i, Down: f.loop.Now() - now})
+		}
+		if f.onRestart != nil {
+			f.onRestart(i)
+		}
+	})
+}
+
+// SetCrashHandlers registers the scheduler's callbacks for server
+// crash/restart, invoked after the fleet's own bookkeeping (the crash
+// handler sees Crashed(i) == true and a zero HarvestedCores reading).
+func (f *Fleet) SetCrashHandlers(onCrash, onRestart func(server int)) {
+	f.onCrash = onCrash
+	f.onRestart = onRestart
+}
+
+// Crashed reports whether server i's harvesting stack is currently down.
+func (f *Fleet) Crashed(i int) bool {
+	return f.crashed != nil && f.crashed[i]
+}
+
+// FleetInjector returns the fleet-level fault injector, or nil when no
+// fleet fault kinds are enabled. The scheduler consults it for
+// control-plane faults (grant drops/delays, stale reads, reconcile
+// loss).
+func (f *Fleet) FleetInjector() *faults.FleetInjector { return f.fleetInj }
+
 // Loop returns the fleet's event loop, for scheduling caller callbacks.
 func (f *Fleet) Loop() *sim.Loop { return f.loop }
 
@@ -386,7 +475,12 @@ func (f *Fleet) Warmup() sim.Time { return f.cfg.Warmup }
 // HarvestedCores returns server i's harvested capacity right now: the
 // elastic group's physical cores beyond the ElasticVM's guaranteed
 // minimum. This is what a fleet scheduler may grant to jobs.
+// A crashed server harvests nothing: its agent is dead and its cores
+// are back with the tenants.
 func (f *Fleet) HarvestedCores(i int) int {
+	if f.Crashed(i) {
+		return 0
+	}
 	n := f.servers[i].machine.GroupCores(hypervisor.ElasticGroup) - f.cfg.ElasticMin
 	if n < 0 {
 		n = 0
@@ -401,6 +495,9 @@ func (f *Fleet) HarvestedCores(i int) int {
 // the forecast collapses to zero, which is exactly the signal a
 // prediction-aware placement policy wants.
 func (f *Fleet) ForecastCores(i int) int {
+	if f.Crashed(i) {
+		return 0
+	}
 	s := f.servers[i]
 	n := s.maxAlloc - s.agent.Target()
 	if n < 0 {
@@ -461,6 +558,9 @@ func (f *Fleet) Finish() (*Result, error) {
 	res.Spread = spreadOf(perServer)
 	for _, inj := range f.injectors {
 		res.FaultsInjected += inj.Total()
+	}
+	if f.fleetInj != nil {
+		res.FaultsInjected += f.fleetInj.Total()
 	}
 	// Latencies of tenants still resident at the end.
 	for _, s := range f.servers {

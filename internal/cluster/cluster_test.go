@@ -5,7 +5,9 @@ import (
 
 	"smartharvest/internal/apps"
 	"smartharvest/internal/core"
+	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
 
@@ -276,5 +278,107 @@ func TestFleetHarvestSpread(t *testing.T) {
 	}
 	if sp.Min != lo || sp.Max != hi {
 		t.Fatalf("spread min/max %v/%v, per-server says %v/%v", sp.Min, sp.Max, lo, hi)
+	}
+}
+
+func TestFleetServerCrashesAndRestarts(t *testing.T) {
+	plan, err := faults.ParsePlan("scrash=0.01,srestartdur=300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	res, err := Run(Config{
+		Servers: 3, ArrivalRate: 0.5, MeanLifetime: 10 * sim.Second,
+		Duration: 20 * sim.Second, Warmup: sim.Second, Seed: 9,
+		Faults: plan, Observer: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ServerCrashes == 0 {
+		t.Fatal("scrash=0.01 over 20s crashed nothing")
+	}
+	if m.ServerRestarts == 0 {
+		t.Fatal("no server ever restarted")
+	}
+	if m.ServerRestarts > m.ServerCrashes {
+		t.Fatalf("%d restarts for %d crashes", m.ServerRestarts, m.ServerCrashes)
+	}
+	if res.FaultsInjected == 0 {
+		t.Fatal("fleet faults not counted in Result.FaultsInjected")
+	}
+}
+
+func TestFleetCrashHandlersSeeDownServer(t *testing.T) {
+	plan, err := faults.ParsePlan("scrash=0.01,srestartdur=200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(Config{
+		Servers: 2, ArrivalRate: 0.5, MeanLifetime: 10 * sim.Second,
+		Duration: 15 * sim.Second, Warmup: sim.Second, Seed: 17,
+		Faults: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes, restarts := 0, 0
+	f.SetCrashHandlers(func(i int) {
+		crashes++
+		if !f.Crashed(i) {
+			t.Errorf("crash handler for server %d: Crashed() false", i)
+		}
+		if f.HarvestedCores(i) != 0 || f.ForecastCores(i) != 0 {
+			t.Errorf("crashed server %d still reports %d harvested / %d forecast cores",
+				i, f.HarvestedCores(i), f.ForecastCores(i))
+		}
+	}, func(i int) {
+		restarts++
+		if f.Crashed(i) {
+			t.Errorf("restart handler for server %d: still Crashed()", i)
+		}
+	})
+	if _, err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if crashes == 0 || restarts == 0 {
+		t.Fatalf("handlers fired %d crashes / %d restarts", crashes, restarts)
+	}
+}
+
+func TestFleetControlPlanePlanLeavesServersUntouched(t *testing.T) {
+	// A fleet plan with only control-plane faults (nothing for the fleet
+	// ticker, nothing for the per-server injectors) constructs the
+	// FleetInjector but draws nothing without a scheduler consulting it:
+	// the run must match a fault-free run exactly.
+	base := Config{
+		Servers: 2, ArrivalRate: 1, MeanLifetime: 8 * sim.Second,
+		Duration: 10 * sim.Second, Warmup: sim.Second, Seed: 21,
+	}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.ParsePlan("gdrop=0.5,rstale=0.5,rloss=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.FleetEnabled() || plan.AgentEnabled() {
+		t.Fatalf("plan classification wrong: %+v", plan)
+	}
+	withPlan := base
+	withPlan.Faults = plan
+	faulted, err := Run(withPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Placed != faulted.Placed || clean.Departed != faulted.Departed ||
+		clean.FleetAvgHarvested != faulted.FleetAvgHarvested ||
+		clean.HarvestedCoreSec != faulted.HarvestedCoreSec {
+		t.Fatalf("unconsumed control-plane plan perturbed the run:\n%+v\nvs\n%+v",
+			clean, faulted)
+	}
+	if faulted.FaultsInjected != 0 {
+		t.Fatalf("injected %d faults with no consumer", faulted.FaultsInjected)
 	}
 }

@@ -335,6 +335,7 @@ type Agent struct {
 	opDoneFn       func() // cached method values: the fault-free resize
 	opRetryFn      func() // continuations must not allocate per resize
 	wakeFn         func()
+	dead           bool     // ForceCrash downtime: every loop is severed
 	lastBusy       int      // last delivered busy reading (for dropped polls)
 	splitDirty     bool     // a fire-and-forget resize (QoS/churn) failed
 	degraded       bool     // harvesting abandoned; NoHarvest behaviour
@@ -435,6 +436,9 @@ func (a *Agent) Degradations() uint64 { return a.degradations }
 // (NoHarvest) mode.
 func (a *Agent) Degraded() bool { return a.degraded }
 
+// Down reports whether the agent is currently dead from a ForceCrash.
+func (a *Agent) Down() bool { return a.dead }
+
 // TargetSeries returns the recorded per-window primary-core assignment
 // (empty unless Config.RecordSeries).
 func (a *Agent) TargetSeries() *metrics.Series { return &a.targetSeries }
@@ -478,9 +482,51 @@ func (a *Agent) SetPrimaryAlloc(n int) error {
 	// allocation; growth happens through normal window decisions.
 	if a.target > n {
 		a.target = n
-		a.fireAndForgetResize(n)
+		if a.dead {
+			// A dead agent cannot issue hypercalls; the split is re-issued
+			// on revival through the dirty-split path. (While dead the
+			// watchdog already gave the primaries everything, so the only
+			// pending change is a shrink of the primary group — safe to
+			// defer.)
+			a.splitDirty = true
+		} else {
+			a.fireAndForgetResize(n)
+		}
 	}
 	return nil
+}
+
+// ForceCrash kills the agent from outside for down: the whole-server
+// failure the fleet fault injector models, as opposed to the in-window
+// crash faults WindowFault delivers. Before dying, the host watchdog's
+// failsafe returns every core to the primary VMs (the paper's safety
+// stance: an absent agent must never keep tenants' cores harvested).
+// Every agent loop is severed until the agent revives after down,
+// re-syncing its window grid to the revival time; in-memory window state
+// is lost and the learner restores from a checkpoint unless loseModel.
+// Calling it on an already-dead agent does nothing.
+func (a *Agent) ForceCrash(down sim.Time, loseModel bool) {
+	if a.dead || down <= 0 {
+		return
+	}
+	a.crashes++
+	a.missedWindows += uint64(down / a.cfg.Window)
+	a.restartState(loseModel)
+	// Watchdog failsafe: tenants get their full allocation back.
+	a.target = a.cfg.PrimaryAlloc
+	a.fireAndForgetResize(a.target)
+	a.dead = true
+	a.op.active = false
+	a.loop.After(down, a.revive)
+}
+
+// revive brings a ForceCrash'd agent back: the downtime was an
+// agent-visible fault (the probation clock restarts) and the window grid
+// re-syncs to now.
+func (a *Agent) revive() {
+	a.dead = false
+	a.lastFault = a.loop.Now()
+	a.startWindow()
 }
 
 // fireAndForgetResize issues one urgent resize (QoS trip, churn shrink)
@@ -560,6 +606,9 @@ func (a *Agent) agentFault(f AgentFault) {
 // wake resumes after a stall/crash: the fault was agent-visible (the
 // probation clock restarts) and the window grid re-syncs to now.
 func (a *Agent) wake() {
+	if a.dead {
+		return
+	}
 	a.lastFault = a.loop.Now()
 	a.startWindow()
 }
@@ -591,6 +640,9 @@ func (a *Agent) schedulePoll() {
 
 // poll is one iteration of Algorithm 1's inner loop.
 func (a *Agent) poll() {
+	if a.dead {
+		return
+	}
 	busy := a.hv.BusyPrimaryCores()
 	if busy < 0 {
 		a.droppedPoll()
@@ -882,6 +934,9 @@ func (a *Agent) attemptResize() bool {
 // opDone completes the in-flight resize operation and resumes the loop
 // it interrupted.
 func (a *Agent) opDone() {
+	if a.dead {
+		return
+	}
 	resume := a.op.resume
 	a.op.active = false
 	a.resumeAfterOp(resume)
@@ -889,6 +944,9 @@ func (a *Agent) opDone() {
 
 // opRetry re-issues the in-flight operation after its backoff.
 func (a *Agent) opRetry() {
+	if a.dead {
+		return
+	}
 	if a.attemptResize() {
 		return
 	}
@@ -937,6 +995,11 @@ func (a *Agent) peak1s() int {
 // for QoSConsecutive consecutive windows, give every core back and pause
 // harvesting.
 func (a *Agent) qosCheck() {
+	if a.dead {
+		// The ticker keeps its cadence through the outage, but a dead
+		// agent observes nothing (waits accumulate for the revival).
+		return
+	}
 	waits := a.hv.DrainPrimaryWaits()
 	bad := 0
 	for _, w := range waits {

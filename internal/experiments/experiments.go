@@ -54,7 +54,9 @@ type Config struct {
 	Check bool
 	// Faults, when enabled, is injected into the sched experiment's
 	// fleet (every server), composing the job schedulers with degraded
-	// agents. Experiments that own their fault plans (chaos) ignore it.
+	// agents and (for fleet-level keys) a faulty control plane.
+	// Experiments that own their fault plans (chaos, fleetchaos)
+	// ignore it.
 	Faults faults.Plan
 	// Predictor selects the peak predictor every "smartharvest" row runs
 	// with (harness.PredictorKind names). The zero value is the paper's
@@ -240,6 +242,7 @@ func All() []struct {
 		{"guard-sweep", SafeguardSweep},
 		{"memharvest", MemHarvest},
 		{"chaos", Chaos},
+		{"fleetchaos", FleetChaos},
 		{"predictors", Predictors},
 	}
 }

@@ -1,8 +1,15 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"smartharvest/internal/cluster"
+	"smartharvest/internal/faults"
+	"smartharvest/internal/obs"
+	"smartharvest/internal/sched"
+	"smartharvest/internal/sim"
 )
 
 // runQuick executes an experiment at the Quick scale and sanity-checks
@@ -332,6 +339,112 @@ func TestSchedDeterminismAcrossParallelism(t *testing.T) {
 	if serial.String() != parallel.String() {
 		t.Errorf("sched report differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serial, parallel)
+	}
+}
+
+func TestFleetChaosExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Check = true // job + fleet invariants verified on every run
+	rep, err := FleetChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []string{"first-fit", "best-fit", "predicted"} {
+		if !strings.Contains(rep.String(), pol) {
+			t.Errorf("fleetchaos report missing %s rows", pol)
+		}
+	}
+	for _, in := range []string{"fault-free", "light (x0.25)", "moderate (x1)", "heavy (x4)"} {
+		if !strings.Contains(rep.String(), in) {
+			t.Errorf("fleetchaos report missing %s section", in)
+		}
+	}
+	if !strings.Contains(rep.String(), "harvested core-seconds vs fault-free") {
+		t.Error("fleetchaos report missing the harvested-core-second comparison")
+	}
+}
+
+// TestFleetChaosDeterminismAcrossParallelism pins the fleet-chaos report
+// to be byte-identical whether its 12 runs execute serially or on a
+// 4-way worker pool — every injector and scheduler RNG must stay
+// run-local.
+func TestFleetChaosDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Duration = 4_000_000_000 // 4 simulated seconds keeps this test quick
+
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	serial, err := FleetChaos(serialCfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallelCfg := cfg
+	parallelCfg.Parallel = 4
+	parallel, err := FleetChaos(parallelCfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("fleetchaos report differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	// Same seed, same config → same bytes, CSV and JSON emitters included.
+	again, err := FleetChaos(serialCfg)
+	if err != nil {
+		t.Fatalf("repeat: %v", err)
+	}
+	if !bytes.Equal(serial.CSV(), again.CSV()) || !bytes.Equal(serial.RowsJSON(), again.RowsJSON()) {
+		t.Error("fleetchaos rows differ across identical runs")
+	}
+}
+
+// TestFleetChaosZeroPlanMatchesFaultFree pins the fault-free guarantee
+// the ×0 sweep point relies on: a fleet plan whose probabilities are all
+// zero (even one carrying non-zero durations) builds no injector and
+// produces a byte-identical event trace to a run with no plan at all.
+func TestFleetChaosZeroPlanMatchesFaultFree(t *testing.T) {
+	trace := func(plan faults.Plan) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf, obs.JSONLOmitPolls())
+		_, err := sched.Run(sched.Config{
+			Fleet: cluster.Config{
+				Servers:      2,
+				ArrivalRate:  1.5,
+				MeanLifetime: 3 * sim.Second,
+				Duration:     8 * sim.Second,
+				Warmup:       2 * sim.Second,
+				Seed:         7,
+				Observer:     sink,
+				Faults:       plan,
+			},
+			Policy:      sched.Predicted,
+			ArrivalRate: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	free := trace(faults.Plan{})
+	if len(free) == 0 {
+		t.Fatal("fault-free run produced an empty trace")
+	}
+	if zero := trace(fleetChaosBasePlan().Scale(0)); !bytes.Equal(free, zero) {
+		t.Error("scaled-to-zero fleet plan diverged from the fault-free trace")
+	}
+	durOnly := faults.Plan{ServerRestartDur: sim.Second, GrantDelayDur: 5 * sim.Millisecond}
+	if withDur := trace(durOnly); !bytes.Equal(free, withDur) {
+		t.Error("zero-probability plan with durations diverged from the fault-free trace")
 	}
 }
 

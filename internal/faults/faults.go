@@ -58,23 +58,69 @@ type Plan struct {
 	CrashProb  float64
 	RestartDur sim.Time
 	LoseModel  bool
+
+	// Fleet-level faults, consumed by internal/cluster and internal/sched
+	// (not by the per-server agent injector above).
+
+	// ServerCrashProb is the per-tick (25 ms) per-server probability that
+	// a server's whole harvesting stack goes down: its agent dies and
+	// every scheduled job on it is orphaned. The server comes back after
+	// ServerRestartDur (default 500 ms). Tenant primary VMs ride out the
+	// outage — the failure domain is the harvesting stack, not the host's
+	// virtualization layer.
+	ServerCrashProb  float64
+	ServerRestartDur sim.Time
+
+	// GrantDropProb / GrantDelayProb perturb scheduler→server placement
+	// grants: a dropped grant never lands (the scheduler must time out
+	// and retry), a delayed one lands after GrantDelayDur (default 10 ms)
+	// subject to a capacity re-check.
+	GrantDropProb  float64
+	GrantDelayProb float64
+	GrantDelayDur  sim.Time
+
+	// ReadStaleProb is the probability a HarvestedCores/ForecastCores
+	// reading observed by the scheduler repeats the previously delivered
+	// value for that server instead of the current one.
+	ReadStaleProb float64
+
+	// ReconcileLossProb is the probability the reconcile pass loses one
+	// server's message entirely — the scheduler skips evaluating that
+	// server this tick.
+	ReconcileLossProb float64
 }
 
-// Enabled reports whether the plan injects anything at all.
-func (p Plan) Enabled() bool {
+// AgentEnabled reports whether the plan injects any per-server agent
+// faults (the PR 4 set: hypercall, poll-signal, and agent-process
+// faults).
+func (p Plan) AgentEnabled() bool {
 	return p.HypercallFailProb > 0 || p.HypercallDelayProb > 0 ||
 		p.PollDropProb > 0 || p.PollStaleProb > 0 || p.PollNoiseProb > 0 ||
 		p.StallProb > 0 || p.CrashProb > 0
 }
 
+// FleetEnabled reports whether the plan injects any fleet-level faults
+// (server crashes or scheduler↔server control-plane faults).
+func (p Plan) FleetEnabled() bool {
+	return p.ServerCrashProb > 0 || p.GrantDropProb > 0 || p.GrantDelayProb > 0 ||
+		p.ReadStaleProb > 0 || p.ReconcileLossProb > 0
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.AgentEnabled() || p.FleetEnabled()
+}
+
 // Scale returns the plan with every probability multiplied by f (clamped
-// to 1) and durations unchanged — the knob the chaos experiment sweeps.
+// to 1) and durations unchanged — the knob the chaos experiments sweep.
 func (p Plan) Scale(f float64) Plan {
 	s := p
 	for _, q := range []*float64{
 		&s.HypercallFailProb, &s.HypercallDelayProb,
 		&s.PollDropProb, &s.PollStaleProb, &s.PollNoiseProb,
 		&s.StallProb, &s.CrashProb,
+		&s.ServerCrashProb, &s.GrantDropProb, &s.GrantDelayProb,
+		&s.ReadStaleProb, &s.ReconcileLossProb,
 	} {
 		*q *= f
 		if *q > 1 {
@@ -92,13 +138,17 @@ func (p *Plan) validate() error {
 		{"hfail", p.HypercallFailProb}, {"hdelay", p.HypercallDelayProb},
 		{"drop", p.PollDropProb}, {"stale", p.PollStaleProb}, {"noise", p.PollNoiseProb},
 		{"stall", p.StallProb}, {"crash", p.CrashProb},
+		{"scrash", p.ServerCrashProb}, {"gdrop", p.GrantDropProb},
+		{"gdelay", p.GrantDelayProb}, {"rstale", p.ReadStaleProb},
+		{"rloss", p.ReconcileLossProb},
 	} {
 		if v.p < 0 || v.p > 1 {
 			return fmt.Errorf("faults: %s probability %v outside [0,1]", v.name, v.p)
 		}
 	}
 	if p.HypercallDelayMean < 0 || p.HypercallDelayP99 < 0 ||
-		p.StallDur < 0 || p.RestartDur < 0 {
+		p.StallDur < 0 || p.RestartDur < 0 ||
+		p.ServerRestartDur < 0 || p.GrantDelayDur < 0 {
 		return fmt.Errorf("faults: durations must be non-negative")
 	}
 	return nil
@@ -123,14 +173,23 @@ func (p Plan) withDefaults() Plan {
 	if p.CrashProb > 0 && p.RestartDur == 0 {
 		p.RestartDur = 250 * sim.Millisecond
 	}
+	if p.ServerCrashProb > 0 && p.ServerRestartDur == 0 {
+		p.ServerRestartDur = 500 * sim.Millisecond
+	}
+	if p.GrantDelayProb > 0 && p.GrantDelayDur == 0 {
+		p.GrantDelayDur = 10 * sim.Millisecond
+	}
 	return p
 }
 
 // ParsePlan parses the -faults CLI syntax: comma-separated key=value
 // pairs, e.g. "hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms".
-// Probability keys: hfail, hdelay, drop, stale, noise, stall, crash.
-// Duration keys (Go duration syntax): hdelaymean, hdelayp99, stalldur,
-// restartdur. Boolean key: losemodel. An empty string is the zero Plan.
+// Agent probability keys: hfail, hdelay, drop, stale, noise, stall,
+// crash. Fleet probability keys: scrash (server crash per tick), gdrop /
+// gdelay (placement-grant drop/delay), rstale (stale capacity reading),
+// rloss (reconcile-message loss). Duration keys (Go duration syntax):
+// hdelaymean, hdelayp99, stalldur, restartdur, srestartdur, gdelaydur.
+// Boolean key: losemodel. An empty string is the zero Plan.
 func ParsePlan(s string) (Plan, error) {
 	var p Plan
 	s = strings.TrimSpace(s)
@@ -158,6 +217,20 @@ func ParsePlan(s string) (Plan, error) {
 			p.StallProb, err = strconv.ParseFloat(v, 64)
 		case "crash":
 			p.CrashProb, err = strconv.ParseFloat(v, 64)
+		case "scrash":
+			p.ServerCrashProb, err = strconv.ParseFloat(v, 64)
+		case "gdrop":
+			p.GrantDropProb, err = strconv.ParseFloat(v, 64)
+		case "gdelay":
+			p.GrantDelayProb, err = strconv.ParseFloat(v, 64)
+		case "rstale":
+			p.ReadStaleProb, err = strconv.ParseFloat(v, 64)
+		case "rloss":
+			p.ReconcileLossProb, err = strconv.ParseFloat(v, 64)
+		case "srestartdur":
+			p.ServerRestartDur, err = parseDur(v)
+		case "gdelaydur":
+			p.GrantDelayDur, err = parseDur(v)
 		case "hdelaymean":
 			p.HypercallDelayMean, err = parseDur(v)
 		case "hdelayp99":
@@ -207,6 +280,11 @@ func (p Plan) String() string {
 	add("noise", p.PollNoiseProb)
 	add("stall", p.StallProb)
 	add("crash", p.CrashProb)
+	add("scrash", p.ServerCrashProb)
+	add("gdrop", p.GrantDropProb)
+	add("gdelay", p.GrantDelayProb)
+	add("rstale", p.ReadStaleProb)
+	add("rloss", p.ReconcileLossProb)
 	if p.HypercallDelayMean > 0 {
 		parts = append(parts, "hdelaymean="+p.HypercallDelayMean.String())
 	}
@@ -218,6 +296,12 @@ func (p Plan) String() string {
 	}
 	if p.RestartDur > 0 {
 		parts = append(parts, "restartdur="+p.RestartDur.String())
+	}
+	if p.ServerRestartDur > 0 {
+		parts = append(parts, "srestartdur="+p.ServerRestartDur.String())
+	}
+	if p.GrantDelayDur > 0 {
+		parts = append(parts, "gdelaydur="+p.GrantDelayDur.String())
 	}
 	if p.LoseModel {
 		parts = append(parts, "losemodel=true")
@@ -339,39 +423,145 @@ func (i *Injector) WindowFault() core.AgentFault {
 }
 
 // Counts returns a copy of the per-kind injection tallies.
-func (i *Injector) Counts() map[obs.FaultKind]uint64 {
-	out := make(map[obs.FaultKind]uint64, len(i.counts))
-	for k, v := range i.counts {
+func (i *Injector) Counts() map[obs.FaultKind]uint64 { return countsCopy(i.counts) }
+
+// Total returns how many faults were injected across all kinds.
+func (i *Injector) Total() uint64 { return countsTotal(i.counts) }
+
+// CountsString renders the tallies deterministically (sorted by kind).
+func (i *Injector) CountsString() string { return countsString(i.counts) }
+
+func countsCopy(counts map[obs.FaultKind]uint64) map[obs.FaultKind]uint64 {
+	out := make(map[obs.FaultKind]uint64, len(counts))
+	for k, v := range counts {
 		out[k] = v
 	}
 	return out
 }
 
-// Total returns how many faults were injected across all kinds.
-func (i *Injector) Total() uint64 {
+func countsTotal(counts map[obs.FaultKind]uint64) uint64 {
 	var n uint64
-	for _, v := range i.counts {
+	for _, v := range counts {
 		n += v
 	}
 	return n
 }
 
-// CountsString renders the tallies deterministically (sorted by kind).
-func (i *Injector) CountsString() string {
-	kinds := make([]int, 0, len(i.counts))
-	for k := range i.counts {
+func countsString(counts map[obs.FaultKind]uint64) string {
+	kinds := make([]int, 0, len(counts))
+	for k := range counts {
 		kinds = append(kinds, int(k))
 	}
 	sort.Ints(kinds)
 	var parts []string
 	for _, k := range kinds {
-		parts = append(parts, fmt.Sprintf("%s=%d", obs.FaultKind(k), i.counts[obs.FaultKind(k)]))
+		parts = append(parts, fmt.Sprintf("%s=%d", obs.FaultKind(k), counts[obs.FaultKind(k)]))
 	}
 	if len(parts) == 0 {
 		return "none"
 	}
 	return strings.Join(parts, " ")
 }
+
+// FleetInjector draws the fleet-level fault schedule: server crashes and
+// scheduler↔server control-plane faults. It is consulted by
+// internal/cluster (crash ticks) and internal/sched (grant, read, and
+// reconcile faults) and owns its own RNG stream, so per-server agent
+// injectors and the fleet schedule never perturb each other's draws. A
+// plan with no fleet faults enabled constructs no FleetInjector and
+// draws nothing.
+//
+// Like Injector, it is single-threaded (the sim loop serializes all
+// callers) and emits one obs.FaultInjected per injected fault; for
+// server-scoped kinds the event's Delta field carries the server index.
+type FleetInjector struct {
+	plan   Plan
+	rng    *simrng.Rand
+	now    func() sim.Time
+	obs    obs.Observer
+	counts map[obs.FaultKind]uint64
+}
+
+// NewFleetInjector builds a fleet injector for the plan (defaults
+// filled) drawing from rng — give it a dedicated stream, not one shared
+// with agent injectors. observer may be nil.
+func NewFleetInjector(plan Plan, rng *simrng.Rand, now func() sim.Time, observer obs.Observer) (*FleetInjector, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	return &FleetInjector{
+		plan:   plan.withDefaults(),
+		rng:    rng,
+		now:    now,
+		obs:    observer,
+		counts: make(map[obs.FaultKind]uint64),
+	}, nil
+}
+
+// Plan returns the (defaults-filled) plan in force.
+func (i *FleetInjector) Plan() Plan { return i.plan }
+
+func (i *FleetInjector) emit(kind obs.FaultKind, dur sim.Time, delta int) {
+	i.counts[kind]++
+	if i.obs != nil {
+		i.obs.OnFaultInjected(obs.FaultInjected{At: i.now(), Kind: kind, Dur: dur, Delta: delta})
+	}
+}
+
+// CrashTick draws one server's crash decision for the current tick and
+// returns the downtime (zero: no crash). Call it once per up server per
+// tick, in server order, so the schedule is a pure function of the seed.
+func (i *FleetInjector) CrashTick(server int) sim.Time {
+	if p := i.plan.ServerCrashProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultServerCrash, i.plan.ServerRestartDur, server)
+		return i.plan.ServerRestartDur
+	}
+	return 0
+}
+
+// GrantFault draws the fate of one placement grant: dropped entirely, or
+// delayed by the returned duration (zero: delivered immediately). A drop
+// takes precedence over a delay.
+func (i *FleetInjector) GrantFault(server int) (drop bool, delay sim.Time) {
+	if p := i.plan.GrantDropProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultGrantDrop, 0, server)
+		return true, 0
+	}
+	if p := i.plan.GrantDelayProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultGrantDelay, i.plan.GrantDelayDur, server)
+		return false, i.plan.GrantDelayDur
+	}
+	return false, 0
+}
+
+// ReadStale reports whether one capacity reading for server should
+// repeat the previously delivered value (the caller holds that cache).
+func (i *FleetInjector) ReadStale(server int) bool {
+	if p := i.plan.ReadStaleProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultReadStale, 0, server)
+		return true
+	}
+	return false
+}
+
+// ReconcileLoss reports whether the reconcile message for server is lost
+// this tick.
+func (i *FleetInjector) ReconcileLoss(server int) bool {
+	if p := i.plan.ReconcileLossProb; p > 0 && i.rng.Bool(p) {
+		i.emit(obs.FaultReconcileLoss, 0, server)
+		return true
+	}
+	return false
+}
+
+// Counts returns a copy of the per-kind injection tallies.
+func (i *FleetInjector) Counts() map[obs.FaultKind]uint64 { return countsCopy(i.counts) }
+
+// Total returns how many faults were injected across all kinds.
+func (i *FleetInjector) Total() uint64 { return countsTotal(i.counts) }
+
+// CountsString renders the tallies deterministically (sorted by kind).
+func (i *FleetInjector) CountsString() string { return countsString(i.counts) }
 
 // Interface conformance.
 var (

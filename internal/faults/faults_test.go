@@ -45,10 +45,186 @@ func TestParsePlanErrors(t *testing.T) {
 		"stalldur=abc",      // not a duration
 		"stalldur=-5ms",     // negative duration
 		"losemodel=perhaps", // not a bool
+		"scrash=1.5",        // fleet probability out of range
+		"scrash=-0.1",       // negative fleet probability
+		"gdrop=maybe",       // fleet probability not a float
+		"rstale=",           // empty value
+		"rloss=2",           // fleet probability out of range
+		"srestartdur=fast",  // fleet duration not a duration
+		"srestartdur=-1s",   // negative fleet duration
+		"gdelaydur=10",      // duration without a unit
+		"gdelay==0.1",       // double separator
 	} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParsePlanFleetRoundTrip(t *testing.T) {
+	in := "scrash=0.002,gdrop=0.05,gdelay=0.1,rstale=0.03,rloss=0.01," +
+		"srestartdur=500ms,gdelaydur=10ms"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ServerCrashProb != 0.002 || p.GrantDropProb != 0.05 || p.GrantDelayProb != 0.1 ||
+		p.ReadStaleProb != 0.03 || p.ReconcileLossProb != 0.01 {
+		t.Fatalf("parsed fleet plan wrong: %+v", p)
+	}
+	if p.ServerRestartDur != 500*sim.Millisecond || p.GrantDelayDur != 10*sim.Millisecond {
+		t.Fatalf("parsed fleet durations wrong: %+v", p)
+	}
+	if p.AgentEnabled() {
+		t.Fatal("fleet-only plan reports agent faults enabled")
+	}
+	if !p.FleetEnabled() || !p.Enabled() {
+		t.Fatal("fleet plan not enabled")
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if p2 != p {
+		t.Fatalf("round trip changed plan:\n %+v\n %+v", p, p2)
+	}
+	// A mixed agent+fleet plan round-trips too.
+	mixed, err := ParsePlan("crash=0.01,scrash=0.001,gdrop=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mixed.AgentEnabled() || !mixed.FleetEnabled() {
+		t.Fatalf("mixed plan enable split wrong: %+v", mixed)
+	}
+	if m2, err := ParsePlan(mixed.String()); err != nil || m2 != mixed {
+		t.Fatalf("mixed round trip: %v / %+v vs %+v", err, m2, mixed)
+	}
+}
+
+func TestScaleCoversFleetProbabilities(t *testing.T) {
+	p := Plan{ServerCrashProb: 0.3, GrantDropProb: 0.01, ReadStaleProb: 0.5,
+		ReconcileLossProb: 0.2, GrantDelayProb: 0.1, ServerRestartDur: 500 * sim.Millisecond}
+	s := p.Scale(4)
+	if s.ServerCrashProb != 1 || s.ReadStaleProb != 1 {
+		t.Fatalf("scaled fleet probs not clamped: %+v", s)
+	}
+	if s.GrantDropProb != 0.04 {
+		t.Fatalf("scaled gdrop %v, want 0.04", s.GrantDropProb)
+	}
+	if s.ServerRestartDur != p.ServerRestartDur {
+		t.Fatal("Scale must not touch fleet durations")
+	}
+	if z := p.Scale(0); z.FleetEnabled() {
+		t.Fatal("zero-scaled fleet plan still enabled")
+	}
+}
+
+func TestFleetInjectorDeterministicFromSeed(t *testing.T) {
+	plan := Plan{ServerCrashProb: 0.1, GrantDropProb: 0.2, GrantDelayProb: 0.3,
+		ReadStaleProb: 0.15, ReconcileLossProb: 0.25}
+	type draw struct {
+		crash       sim.Time
+		drop        bool
+		delay       sim.Time
+		stale, loss bool
+	}
+	run := func(seed uint64) []draw {
+		inj, err := NewFleetInjector(plan, simrng.New(seed), func() sim.Time { return 0 }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []draw
+		for i := 0; i < 200; i++ {
+			var d draw
+			d.crash = inj.CrashTick(i % 4)
+			d.drop, d.delay = inj.GrantFault(i % 4)
+			d.stale = inj.ReadStale(i % 4)
+			d.loss = inj.ReconcileLoss(i % 4)
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs for identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fleet fault schedules")
+	}
+}
+
+func TestFleetInjectorZeroPlanDrawsNothing(t *testing.T) {
+	// A zero-probability plan must consume no RNG state: fault-free fleet
+	// runs stay byte-identical to runs without the injector in the loop.
+	rng := simrng.New(42)
+	before := rng.Uint64()
+	rng = simrng.New(42)
+	inj, err := NewFleetInjector(Plan{}, rng, func() sim.Time { return 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if inj.CrashTick(i) != 0 {
+			t.Fatal("zero plan crashed a server")
+		}
+		if drop, delay := inj.GrantFault(i); drop || delay != 0 {
+			t.Fatal("zero plan faulted a grant")
+		}
+		if inj.ReadStale(i) || inj.ReconcileLoss(i) {
+			t.Fatal("zero plan faulted a read or reconcile")
+		}
+	}
+	if inj.Total() != 0 {
+		t.Fatalf("zero plan injected %d faults", inj.Total())
+	}
+	if got := rng.Uint64(); got != before {
+		t.Fatalf("zero plan consumed RNG state: next draw %d, want %d", got, before)
+	}
+}
+
+func TestFleetInjectorEmitsObserverEvents(t *testing.T) {
+	ring := obs.NewRing(64)
+	inj, err := NewFleetInjector(
+		Plan{ServerCrashProb: 1, GrantDropProb: 1, ReadStaleProb: 1, ReconcileLossProb: 1},
+		simrng.New(1), func() sim.Time { return 5 * sim.Millisecond }, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down := inj.CrashTick(3); down != 500*sim.Millisecond {
+		t.Fatalf("CrashTick downtime %v, want default 500ms", down)
+	}
+	inj.GrantFault(2)
+	inj.ReadStale(1)
+	inj.ReconcileLoss(0)
+	recs := ring.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d fault events, want 4", len(recs))
+	}
+	wantKinds := []obs.FaultKind{
+		obs.FaultServerCrash, obs.FaultGrantDrop, obs.FaultReadStale, obs.FaultReconcileLoss,
+	}
+	wantServers := []int{3, 2, 1, 0}
+	for i, rec := range recs {
+		if rec.Kind != obs.KindFaultInjected {
+			t.Fatalf("event %d kind %v", i, rec.Kind)
+		}
+		e := rec.FaultInjected
+		if e.Kind != wantKinds[i] || e.Delta != wantServers[i] || e.At != 5*sim.Millisecond {
+			t.Fatalf("event %d = %+v, want kind %v server %d", i, e, wantKinds[i], wantServers[i])
+		}
+	}
+	if got := inj.CountsString(); got == "none" {
+		t.Fatal("counts empty after injections")
 	}
 }
 

@@ -76,6 +76,27 @@ func TestZeroProbabilityPlanByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFleetPlanRejectedOnSingleServer: fleet-level fault keys (server
+// crashes, grant drops, stale reads) have no injection surface in a
+// single-server harness scenario; accepting them would silently inject
+// nothing, so Run must refuse the scenario outright.
+func TestFleetPlanRejectedOnSingleServer(t *testing.T) {
+	plans := []faults.Plan{
+		{ServerCrashProb: 0.01},
+		{GrantDropProb: 0.2},
+		{ReadStaleProb: 0.1, ReconcileLossProb: 0.05},
+		{HypercallFailProb: 0.1, GrantDelayProb: 0.1}, // mixed: still rejected
+	}
+	for _, plan := range plans {
+		s := short("fleet-plan", apps.Memcached(40000))
+		s.Duration = sim.Second
+		s.Faults = plan
+		if _, err := Run(s); err == nil {
+			t.Errorf("single-server scenario accepted fleet plan %q", plan)
+		}
+	}
+}
+
 // TestChaosDeterministicFromSeed: the whole fault schedule hangs off the
 // scenario seed, so a chaotic run repeated with the same seed must
 // reproduce the trace byte for byte and every fault counter exactly.

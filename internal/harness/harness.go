@@ -526,8 +526,14 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	// The injector (and its RNG stream) exists only when the plan injects
 	// something: a zero plan consumes no draws, keeping fault-free runs
 	// byte-identical to scenarios that never heard of fault injection.
+	// Fleet-level faults (server crashes, grant drops, stale reads) have
+	// no meaning on a single-server scenario — rejecting them here keeps a
+	// mistyped plan from silently injecting nothing.
+	if s.Faults.FleetEnabled() {
+		return nil, fmt.Errorf("harness: scenario %q: fleet-level fault plan %q requires a multi-server fleet (internal/cluster); single-server scenarios accept agent-level keys only", s.Name, s.Faults)
+	}
 	var injector *faults.Injector
-	if s.Faults.Enabled() {
+	if s.Faults.AgentEnabled() {
 		inj, err := faults.NewInjector(s.Faults, simrng.New(rng.Uint64()), loop.Now, s.Observer)
 		if err != nil {
 			return nil, err

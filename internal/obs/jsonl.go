@@ -331,3 +331,62 @@ func (j *JSONL) OnPredictorInfo(e PredictorInfo) {
 	j.intField("classes", int64(e.Classes))
 	j.end()
 }
+
+func (j *JSONL) OnServerCrash(e ServerCrash) {
+	if !j.begin(KindServerCrash, int64(e.At)) {
+		return
+	}
+	j.intField("server", int64(e.Server))
+	j.intField("down", int64(e.Down))
+	j.end()
+}
+
+func (j *JSONL) OnServerRestart(e ServerRestart) {
+	if !j.begin(KindServerRestart, int64(e.At)) {
+		return
+	}
+	j.intField("server", int64(e.Server))
+	j.intField("down", int64(e.Down))
+	j.end()
+}
+
+func (j *JSONL) OnServerQuarantine(e ServerQuarantine) {
+	if !j.begin(KindServerQuarantine, int64(e.At)) {
+		return
+	}
+	j.intField("server", int64(e.Server))
+	j.intField("failures", int64(e.Failures))
+	j.boolField("crash", e.Crash)
+	j.intField("until", int64(e.Until))
+	j.end()
+}
+
+func (j *JSONL) OnServerProbation(e ServerProbation) {
+	if !j.begin(KindServerProbation, int64(e.At)) {
+		return
+	}
+	j.intField("server", int64(e.Server))
+	j.intField("until", int64(e.Until))
+	j.end()
+}
+
+func (j *JSONL) OnPlacementRetry(e PlacementRetry) {
+	if !j.begin(KindPlacementRetry, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.intField("server", int64(e.Server))
+	j.intField("attempt", int64(e.Attempt))
+	j.intField("backoff", int64(e.Backoff))
+	j.end()
+}
+
+func (j *JSONL) OnAdmissionDegraded(e AdmissionDegraded) {
+	if !j.begin(KindAdmissionDegraded, int64(e.At)) {
+		return
+	}
+	j.boolField("entered", e.Entered)
+	j.intField("faults", int64(e.Faults))
+	j.intField("window", int64(e.Window))
+	j.end()
+}

@@ -45,6 +45,15 @@ type Metrics struct {
 	JobCompletions uint64
 	SLOMisses      uint64
 
+	// Fleet-chaos counters (zero on fault-free runs).
+	ServerCrashes      uint64
+	ServerRestarts     uint64
+	ServerQuarantines  uint64
+	ServerProbations   uint64
+	PlacementRetries   uint64
+	AdmissionDegraded  uint64 // entered events
+	AdmissionRecovered uint64 // exited events
+
 	// Per-window statistics.
 	WindowPeak   metrics.Welford // observed peak busy cores per window
 	WindowTarget metrics.Welford // applied primary-core target per window
@@ -112,6 +121,20 @@ func (m *Metrics) OnJobRequeue(JobRequeue)   { m.JobRequeues++ }
 func (m *Metrics) OnJobComplete(JobComplete) { m.JobCompletions++ }
 func (m *Metrics) OnJobSLOMiss(JobSLOMiss)   { m.SLOMisses++ }
 
+func (m *Metrics) OnServerCrash(ServerCrash)           { m.ServerCrashes++ }
+func (m *Metrics) OnServerRestart(ServerRestart)       { m.ServerRestarts++ }
+func (m *Metrics) OnServerQuarantine(ServerQuarantine) { m.ServerQuarantines++ }
+func (m *Metrics) OnServerProbation(ServerProbation)   { m.ServerProbations++ }
+func (m *Metrics) OnPlacementRetry(PlacementRetry)     { m.PlacementRetries++ }
+
+func (m *Metrics) OnAdmissionDegraded(e AdmissionDegraded) {
+	if e.Entered {
+		m.AdmissionDegraded++
+	} else {
+		m.AdmissionRecovered++
+	}
+}
+
 // OnPredictorInfo implements Observer. The predictor identity is a
 // run-level fact, not a counter; Metrics records the name for display.
 func (m *Metrics) OnPredictorInfo(e PredictorInfo) { m.Predictor = e.Name }
@@ -141,6 +164,11 @@ func (m *Metrics) String() string {
 	if m.JobSubmits > 0 {
 		fmt.Fprintf(&b, "\njobs submitted=%d started=%d completed=%d evictions=%d requeues=%d slo-misses=%d",
 			m.JobSubmits, m.JobStarts, m.JobCompletions, m.JobEvictions, m.JobRequeues, m.SLOMisses)
+	}
+	if m.ServerCrashes > 0 || m.ServerQuarantines > 0 || m.PlacementRetries > 0 {
+		fmt.Fprintf(&b, "\nserver crashes=%d restarts=%d quarantines=%d probations=%d placement retries=%d admission degraded=%d (recovered %d)",
+			m.ServerCrashes, m.ServerRestarts, m.ServerQuarantines, m.ServerProbations,
+			m.PlacementRetries, m.AdmissionDegraded, m.AdmissionRecovered)
 	}
 	return b.String()
 }

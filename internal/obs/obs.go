@@ -164,11 +164,28 @@ const (
 	// FaultAgentCrash: the agent crashed and restarted, rebuilding its
 	// state from a checkpoint (or from scratch).
 	FaultAgentCrash
+	// FaultServerCrash: a whole server went down, killing its agent and
+	// every job placed on it (fleet-level; see faults.FleetInjector).
+	FaultServerCrash
+	// FaultGrantDrop: a placement grant was lost on the scheduler→server
+	// control path; the scheduler notices only by timeout.
+	FaultGrantDrop
+	// FaultGrantDelay: a placement grant arrived late at the server.
+	FaultGrantDelay
+	// FaultReadStale: a scheduler capacity read (harvested or forecast
+	// cores) returned the previously observed value instead of the
+	// current one.
+	FaultReadStale
+	// FaultReconcileLoss: one server's reconcile message to the scheduler
+	// was lost; that server is skipped for the round and its view ages.
+	FaultReconcileLoss
 )
 
 var faultNames = [...]string{
 	"hypercall-fail", "hypercall-delay", "poll-drop", "poll-stale",
 	"poll-noise", "agent-stall", "agent-crash",
+	"server-crash", "grant-drop", "grant-delay", "read-stale",
+	"reconcile-loss",
 }
 
 func (k FaultKind) String() string {
@@ -318,6 +335,82 @@ type JobSLOMiss struct {
 	Late sim.Time
 }
 
+// ServerCrash fires when a whole fleet server goes down: its agent dies
+// and every job VM placed on its harvested capacity is killed. The
+// tenant (primary) VMs are deliberately spared — the crash models the
+// harvesting stack failing, with the paper's safety asymmetry preserved.
+type ServerCrash struct {
+	At     sim.Time
+	Server int
+	// Down is how long the server stays down before restarting.
+	Down sim.Time
+}
+
+// ServerRestart fires when a crashed server comes back: the agent
+// restarts (rebuilding learner state from its checkpoint) and the
+// server's harvested capacity becomes placeable again.
+type ServerRestart struct {
+	At     sim.Time
+	Server int
+	// Down is how long the server was down.
+	Down sim.Time
+}
+
+// ServerQuarantine fires when the scheduler stops placing work on a
+// server, either because it crashed or because consecutive placement
+// failures crossed the health threshold.
+type ServerQuarantine struct {
+	At     sim.Time
+	Server int
+	// Failures is the consecutive placement-failure count at entry
+	// (zero for crash-triggered quarantines).
+	Failures int
+	// Crash marks a quarantine triggered by a server crash rather than
+	// by accumulated placement failures.
+	Crash bool
+	// Until is when the quarantine lapses into probation.
+	Until sim.Time
+}
+
+// ServerProbation fires when a quarantined server re-enters service on
+// probation: placements resume, but one more failure before Until
+// re-quarantines it (with a longer sentence — flap damping).
+type ServerProbation struct {
+	At     sim.Time
+	Server int
+	// Until is when a clean probation ends and the server is healthy.
+	Until sim.Time
+}
+
+// PlacementRetry fires when the scheduler re-issues a placement that
+// timed out (a dropped or unacknowledged grant), after a bounded
+// exponential backoff.
+type PlacementRetry struct {
+	At  sim.Time
+	Job string
+	// Server is the server the failed attempt targeted.
+	Server int
+	// Attempt is the 1-based retry number (1 = first re-issue).
+	Attempt int
+	// Backoff is the delay applied before this retry.
+	Backoff sim.Time
+}
+
+// AdmissionDegraded fires when the scheduler changes admission posture:
+// Entered=true means the observed fault rate spiked and admission
+// shrank (conservative first-fit, throttled placements); Entered=false
+// means the fault rate subsided and normal admission resumed.
+type AdmissionDegraded struct {
+	At sim.Time
+	// Entered is true on degradation, false on recovery.
+	Entered bool
+	// Faults is the fault count observed within the trailing window at
+	// the transition.
+	Faults int
+	// Window is the observation window the count applies to.
+	Window sim.Time
+}
+
 // PredictorInfo fires once at run start when the scenario selects a
 // non-default predictor, recording which predictor identity produced the
 // trace (default CSOAA runs emit nothing, keeping their traces
@@ -355,6 +448,12 @@ type Observer interface {
 	OnJobRequeue(JobRequeue)
 	OnJobComplete(JobComplete)
 	OnJobSLOMiss(JobSLOMiss)
+	OnServerCrash(ServerCrash)
+	OnServerRestart(ServerRestart)
+	OnServerQuarantine(ServerQuarantine)
+	OnServerProbation(ServerProbation)
+	OnPlacementRetry(PlacementRetry)
+	OnAdmissionDegraded(AdmissionDegraded)
 	OnPredictorInfo(PredictorInfo)
 }
 
@@ -362,25 +461,31 @@ type Observer interface {
 // observers.
 type NopObserver struct{}
 
-func (NopObserver) OnPollSample(PollSample)       {}
-func (NopObserver) OnWindowEnd(WindowEnd)         {}
-func (NopObserver) OnSafeguardTrip(SafeguardTrip) {}
-func (NopObserver) OnQoSTrip(QoSTrip)             {}
-func (NopObserver) OnQoSResume(QoSResume)         {}
-func (NopObserver) OnResize(Resize)               {}
-func (NopObserver) OnChurnApplied(ChurnApplied)   {}
-func (NopObserver) OnBatchProgress(BatchProgress) {}
-func (NopObserver) OnFaultInjected(FaultInjected) {}
-func (NopObserver) OnResizeRetry(ResizeRetry)     {}
-func (NopObserver) OnDegradedEnter(DegradedEnter) {}
-func (NopObserver) OnDegradedExit(DegradedExit)   {}
-func (NopObserver) OnJobSubmit(JobSubmit)         {}
-func (NopObserver) OnJobStart(JobStart)           {}
-func (NopObserver) OnJobEvict(JobEvict)           {}
-func (NopObserver) OnJobRequeue(JobRequeue)       {}
-func (NopObserver) OnJobComplete(JobComplete)     {}
-func (NopObserver) OnJobSLOMiss(JobSLOMiss)       {}
-func (NopObserver) OnPredictorInfo(PredictorInfo) {}
+func (NopObserver) OnPollSample(PollSample)               {}
+func (NopObserver) OnWindowEnd(WindowEnd)                 {}
+func (NopObserver) OnSafeguardTrip(SafeguardTrip)         {}
+func (NopObserver) OnQoSTrip(QoSTrip)                     {}
+func (NopObserver) OnQoSResume(QoSResume)                 {}
+func (NopObserver) OnResize(Resize)                       {}
+func (NopObserver) OnChurnApplied(ChurnApplied)           {}
+func (NopObserver) OnBatchProgress(BatchProgress)         {}
+func (NopObserver) OnFaultInjected(FaultInjected)         {}
+func (NopObserver) OnResizeRetry(ResizeRetry)             {}
+func (NopObserver) OnDegradedEnter(DegradedEnter)         {}
+func (NopObserver) OnDegradedExit(DegradedExit)           {}
+func (NopObserver) OnJobSubmit(JobSubmit)                 {}
+func (NopObserver) OnJobStart(JobStart)                   {}
+func (NopObserver) OnJobEvict(JobEvict)                   {}
+func (NopObserver) OnJobRequeue(JobRequeue)               {}
+func (NopObserver) OnJobComplete(JobComplete)             {}
+func (NopObserver) OnJobSLOMiss(JobSLOMiss)               {}
+func (NopObserver) OnServerCrash(ServerCrash)             {}
+func (NopObserver) OnServerRestart(ServerRestart)         {}
+func (NopObserver) OnServerQuarantine(ServerQuarantine)   {}
+func (NopObserver) OnServerProbation(ServerProbation)     {}
+func (NopObserver) OnPlacementRetry(PlacementRetry)       {}
+func (NopObserver) OnAdmissionDegraded(AdmissionDegraded) {}
+func (NopObserver) OnPredictorInfo(PredictorInfo)         {}
 
 // multi fans events out to several observers in order.
 type multi struct{ obs []Observer }
@@ -492,6 +597,36 @@ func (m *multi) OnJobComplete(e JobComplete) {
 func (m *multi) OnJobSLOMiss(e JobSLOMiss) {
 	for _, o := range m.obs {
 		o.OnJobSLOMiss(e)
+	}
+}
+func (m *multi) OnServerCrash(e ServerCrash) {
+	for _, o := range m.obs {
+		o.OnServerCrash(e)
+	}
+}
+func (m *multi) OnServerRestart(e ServerRestart) {
+	for _, o := range m.obs {
+		o.OnServerRestart(e)
+	}
+}
+func (m *multi) OnServerQuarantine(e ServerQuarantine) {
+	for _, o := range m.obs {
+		o.OnServerQuarantine(e)
+	}
+}
+func (m *multi) OnServerProbation(e ServerProbation) {
+	for _, o := range m.obs {
+		o.OnServerProbation(e)
+	}
+}
+func (m *multi) OnPlacementRetry(e PlacementRetry) {
+	for _, o := range m.obs {
+		o.OnPlacementRetry(e)
+	}
+}
+func (m *multi) OnAdmissionDegraded(e AdmissionDegraded) {
+	for _, o := range m.obs {
+		o.OnAdmissionDegraded(e)
 	}
 }
 func (m *multi) OnPredictorInfo(e PredictorInfo) {

@@ -49,7 +49,18 @@ func feedAll(o Observer) int {
 	o.OnJobSLOMiss(JobSLOMiss{At: 20 * sim.Second, Job: "job-0",
 		Deadline: 19 * sim.Second, Late: sim.Second})
 	o.OnPredictorInfo(PredictorInfo{At: 20 * sim.Second, Name: "ensemble", Classes: 11})
-	return 19
+	o.OnServerCrash(ServerCrash{At: 21 * sim.Second, Server: 2, Down: 500 * sim.Millisecond})
+	o.OnServerRestart(ServerRestart{At: 21*sim.Second + 500*sim.Millisecond, Server: 2,
+		Down: 500 * sim.Millisecond})
+	o.OnServerQuarantine(ServerQuarantine{At: 22 * sim.Second, Server: 2, Failures: 3,
+		Crash: true, Until: 22*sim.Second + 200*sim.Millisecond})
+	o.OnServerProbation(ServerProbation{At: 22*sim.Second + 200*sim.Millisecond, Server: 2,
+		Until: 22*sim.Second + 600*sim.Millisecond})
+	o.OnPlacementRetry(PlacementRetry{At: 23 * sim.Second, Job: "job-0", Server: 1,
+		Attempt: 2, Backoff: 4 * sim.Millisecond})
+	o.OnAdmissionDegraded(AdmissionDegraded{At: 24 * sim.Second, Entered: true,
+		Faults: 9, Window: 250 * sim.Millisecond})
+	return 25
 }
 
 func TestRingKeepsMostRecent(t *testing.T) {
@@ -130,6 +141,12 @@ func TestJSONLSchema(t *testing.T) {
 		`{"v":1,"ev":"job-complete","t":14000000000,"job":"job-0","server":1,"elapsed":5000000000,"evictions":1}`,
 		`{"v":1,"ev":"job-slo-miss","t":20000000000,"job":"job-0","deadline":19000000000,"late":1000000000}`,
 		`{"v":1,"ev":"predictor","t":20000000000,"name":"ensemble","classes":11}`,
+		`{"v":1,"ev":"server-crash","t":21000000000,"server":2,"down":500000000}`,
+		`{"v":1,"ev":"server-restart","t":21500000000,"server":2,"down":500000000}`,
+		`{"v":1,"ev":"server-quarantine","t":22000000000,"server":2,"failures":3,"crash":true,"until":22200000000}`,
+		`{"v":1,"ev":"server-probation","t":22200000000,"server":2,"until":22600000000}`,
+		`{"v":1,"ev":"placement-retry","t":23000000000,"job":"job-0","server":1,"attempt":2,"backoff":4000000}`,
+		`{"v":1,"ev":"admission-degraded","t":24000000000,"entered":true,"faults":9,"window":250000000}`,
 	}, "\n") + "\n"
 	if got := buf.String(); got != want {
 		t.Errorf("trace lines changed (schema drift — bump SchemaVersion):\ngot:\n%swant:\n%s", got, want)
@@ -146,8 +163,8 @@ func TestJSONLOmitPolls(t *testing.T) {
 	if strings.Contains(buf.String(), `"ev":"poll"`) {
 		t.Error("poll line present despite JSONLOmitPolls")
 	}
-	if n := strings.Count(buf.String(), "\n"); n != 18 {
-		t.Errorf("got %d lines, want 18", n)
+	if n := strings.Count(buf.String(), "\n"); n != 24 {
+		t.Errorf("got %d lines, want 24", n)
 	}
 }
 

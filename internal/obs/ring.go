@@ -23,6 +23,12 @@ const (
 	KindJobComplete
 	KindJobSLOMiss
 	KindPredictorInfo
+	KindServerCrash
+	KindServerRestart
+	KindServerQuarantine
+	KindServerProbation
+	KindPlacementRetry
+	KindAdmissionDegraded
 
 	numKinds
 )
@@ -33,6 +39,8 @@ var kindNames = [numKinds]string{
 	"degraded-enter", "degraded-exit",
 	"job-submit", "job-start", "job-evict", "job-requeue",
 	"job-complete", "job-slo-miss", "predictor",
+	"server-crash", "server-restart", "server-quarantine",
+	"server-probation", "placement-retry", "admission-degraded",
 }
 
 func (k Kind) String() string {
@@ -66,6 +74,13 @@ type Record struct {
 	JobComplete   JobComplete
 	JobSLOMiss    JobSLOMiss
 	PredictorInfo PredictorInfo
+
+	ServerCrash       ServerCrash
+	ServerRestart     ServerRestart
+	ServerQuarantine  ServerQuarantine
+	ServerProbation   ServerProbation
+	PlacementRetry    PlacementRetry
+	AdmissionDegraded AdmissionDegraded
 }
 
 // Ring is the in-memory flight-recorder sink: it keeps the most recent
@@ -160,3 +175,14 @@ func (r *Ring) OnJobRequeue(e JobRequeue)       { r.add(KindJobRequeue).JobReque
 func (r *Ring) OnJobComplete(e JobComplete)     { r.add(KindJobComplete).JobComplete = e }
 func (r *Ring) OnJobSLOMiss(e JobSLOMiss)       { r.add(KindJobSLOMiss).JobSLOMiss = e }
 func (r *Ring) OnPredictorInfo(e PredictorInfo) { r.add(KindPredictorInfo).PredictorInfo = e }
+
+func (r *Ring) OnServerCrash(e ServerCrash)     { r.add(KindServerCrash).ServerCrash = e }
+func (r *Ring) OnServerRestart(e ServerRestart) { r.add(KindServerRestart).ServerRestart = e }
+func (r *Ring) OnServerQuarantine(e ServerQuarantine) {
+	r.add(KindServerQuarantine).ServerQuarantine = e
+}
+func (r *Ring) OnServerProbation(e ServerProbation) { r.add(KindServerProbation).ServerProbation = e }
+func (r *Ring) OnPlacementRetry(e PlacementRetry)   { r.add(KindPlacementRetry).PlacementRetry = e }
+func (r *Ring) OnAdmissionDegraded(e AdmissionDegraded) {
+	r.add(KindAdmissionDegraded).AdmissionDegraded = e
+}

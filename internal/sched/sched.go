@@ -18,6 +18,17 @@
 // servers whose forecast says the capacity is about to vanish. None of
 // the policies see the future — Predicted consumes exactly the signal
 // the paper's learner already produces.
+//
+// The scheduler self-heals under fleet-level chaos (internal/faults
+// fleet plans): dropped placement grants are retried with bounded
+// exponential backoff, servers whose grants keep failing — or that crash
+// outright — are quarantined with doubling windows and re-admitted
+// through probation, jobs orphaned by a crash are evicted at the crash
+// instant (budget-charged, progress-conserving) and re-placed across the
+// survivors, and a sliding window over fault signals degrades admission
+// to conservative first-fit until the storm subsides. All of it is inert
+// on fault-free runs: no extra events, no extra randomness, byte-for-byte
+// identical traces.
 package sched
 
 import (
@@ -26,6 +37,7 @@ import (
 	"smartharvest/internal/apps"
 	"smartharvest/internal/check"
 	"smartharvest/internal/cluster"
+	"smartharvest/internal/faults"
 	"smartharvest/internal/hypervisor"
 	"smartharvest/internal/metrics"
 	"smartharvest/internal/obs"
@@ -101,6 +113,39 @@ type Config struct {
 	// Checker, when set, verifies the job event stream online; Bind is
 	// called automatically and the report lands in Result.Check.
 	Checker *check.JobChecker
+
+	// Resilience knobs. They engage only when Fleet.Faults enables fleet
+	// faults (server crashes or control-plane faults); without those the
+	// scheduler never observes a failure and the knobs are inert, so
+	// fault-free runs stay byte-identical to builds without them.
+
+	// MaxPlacementRetries bounds how often one placement operation is
+	// retried after its grant is dropped, before the job returns to the
+	// queue (default 3).
+	MaxPlacementRetries int
+	// PlacementBackoff is the base retry delay; attempt k waits
+	// PlacementBackoff << (k-1) (default 5 ms).
+	PlacementBackoff sim.Time
+	// QuarantineAfter is the consecutive dropped-grant streak that
+	// quarantines a server (default 3).
+	QuarantineAfter int
+	// QuarantineDur is the base quarantine window; each re-entry doubles
+	// it, capped at QuarantineMax (defaults 250 ms and 2 s).
+	QuarantineDur sim.Time
+	QuarantineMax sim.Time
+	// ProbationDur is how long a server leaving quarantine is on
+	// probation: usable, but one more failure re-quarantines it with a
+	// doubled window, while surviving it clears its record (default 500 ms).
+	ProbationDur sim.Time
+	// DegradeWindow, DegradeEnter, DegradeExit govern graceful admission
+	// degradation: when more than DegradeEnter fault signals (dropped
+	// grants, crashes, lost reconciles) land within a sliding
+	// DegradeWindow, admission degrades — placements fall back to
+	// conservative first-fit, at most one per round — until the windowed
+	// count subsides to DegradeExit (defaults 250 ms, 8, 2).
+	DegradeWindow sim.Time
+	DegradeEnter  int
+	DegradeExit   int
 }
 
 func (c *Config) applyDefaults() {
@@ -121,6 +166,33 @@ func (c *Config) applyDefaults() {
 	if c.ReconcileEvery == 0 {
 		c.ReconcileEvery = 25 * sim.Millisecond
 	}
+	if c.MaxPlacementRetries == 0 {
+		c.MaxPlacementRetries = 3
+	}
+	if c.PlacementBackoff == 0 {
+		c.PlacementBackoff = 5 * sim.Millisecond
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.QuarantineDur == 0 {
+		c.QuarantineDur = 250 * sim.Millisecond
+	}
+	if c.QuarantineMax == 0 {
+		c.QuarantineMax = 2 * sim.Second
+	}
+	if c.ProbationDur == 0 {
+		c.ProbationDur = 500 * sim.Millisecond
+	}
+	if c.DegradeWindow == 0 {
+		c.DegradeWindow = 250 * sim.Millisecond
+	}
+	if c.DegradeEnter == 0 {
+		c.DegradeEnter = 8
+	}
+	if c.DegradeExit == 0 {
+		c.DegradeExit = 2
+	}
 }
 
 func (c *Config) validate() error {
@@ -129,6 +201,15 @@ func (c *Config) validate() error {
 	}
 	if c.ArrivalRate < 0 || c.MaxRequeues < 0 || c.ReconcileEvery < 0 {
 		return fmt.Errorf("sched: negative ArrivalRate, MaxRequeues, or ReconcileEvery")
+	}
+	if c.MaxPlacementRetries < 0 || c.PlacementBackoff < 0 || c.QuarantineAfter < 0 ||
+		c.QuarantineDur < 0 || c.QuarantineMax < 0 || c.ProbationDur < 0 ||
+		c.DegradeWindow < 0 || c.DegradeEnter < 0 || c.DegradeExit < 0 {
+		return fmt.Errorf("sched: negative resilience knob")
+	}
+	if c.DegradeExit >= c.DegradeEnter {
+		return fmt.Errorf("sched: DegradeExit %d must be below DegradeEnter %d (hysteresis)",
+			c.DegradeExit, c.DegradeEnter)
 	}
 	for i, j := range c.Jobs {
 		if j.Work <= 0 || j.Width < 1 || j.Deadline < 0 {
@@ -150,6 +231,17 @@ type Result struct {
 	Unfinished int
 	Evictions  int
 	Requeues   int
+
+	// Crashes counts server crashes observed; Orphaned counts evictions
+	// forced by them (a subset of Evictions, budget-charged like any
+	// other).
+	Crashes  int
+	Orphaned int
+	// PlacementRetries counts grant-drop retries; Quarantines counts
+	// quarantine entries; Degraded counts degraded-admission entries.
+	PlacementRetries int
+	Quarantines      int
+	Degraded         int
 
 	// CompletionP50/P99 are exact quantiles of completed jobs' elapsed
 	// times (submit to finish).
@@ -224,7 +316,24 @@ type scheduler struct {
 	committed []int    // per server, cores granted to running jobs
 	all       []*job
 
+	// Resilience state, allocated only when the fleet has a fault
+	// injector; nil slices keep the fault-free path byte-identical.
+	fleetInj    *faults.FleetInjector
+	health      []serverHealth
+	lastHarvest []int // telemetry cache backing stale reads
+	faultTimes  []sim.Time
+	degraded    bool
+
 	res *Result
+}
+
+// serverHealth is the scheduler's view of one server.
+type serverHealth struct {
+	failStreak  int // consecutive dropped grants
+	quarStreak  int // quarantine re-entries (doubles the window)
+	quarantined bool
+	quarUntil   sim.Time
+	probUntil   sim.Time
 }
 
 // BenchConfig is the pinned small-fleet configuration behind the perf
@@ -266,8 +375,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Checker != nil {
 		if err := cfg.Checker.Bind(check.JobConfig{
-			MaxRequeues: cfg.MaxRequeues,
-			Servers:     fleet.Servers(),
+			MaxRequeues:         cfg.MaxRequeues,
+			Servers:             fleet.Servers(),
+			MaxPlacementRetries: cfg.MaxPlacementRetries,
+			PlacementBackoff:    cfg.PlacementBackoff,
+			QuarantineDur:       cfg.QuarantineDur,
+			QuarantineMax:       cfg.QuarantineMax,
+			ProbationDur:        cfg.ProbationDur,
+			DegradeEnter:        cfg.DegradeEnter,
+			DegradeExit:         cfg.DegradeExit,
 		}); err != nil {
 			return nil, err
 		}
@@ -278,6 +394,12 @@ func Run(cfg Config) (*Result, error) {
 		running:   make([][]*job, fleet.Servers()),
 		committed: make([]int, fleet.Servers()),
 		res:       &Result{Policy: cfg.Policy},
+	}
+	if inj := fleet.FleetInjector(); inj != nil {
+		s.fleetInj = inj
+		s.health = make([]serverHealth, fleet.Servers())
+		s.lastHarvest = make([]int, fleet.Servers())
+		fleet.SetCrashHandlers(s.onCrash, s.onRestart)
 	}
 
 	// Job arrivals on their own RNG stream (never touching the fleet's),
@@ -337,19 +459,38 @@ func (s *scheduler) free(i int) int {
 	return s.fleet.HarvestedCores(i) - s.committed[i]
 }
 
-// pick selects a server for the next job per the policy, or -1.
+// avoid reports whether server i is off-limits for placement: inside an
+// active quarantine window. (Crashed servers need no guard — they report
+// zero harvested and forecast cores, so no policy selects them.)
+func (s *scheduler) avoid(i int) bool {
+	if s.health == nil {
+		return false
+	}
+	h := &s.health[i]
+	return h.quarantined && s.loop.Now() < h.quarUntil
+}
+
+// pick selects a server for the next job per the policy, or -1. While
+// admission is degraded the policy falls back to conservative first-fit.
 func (s *scheduler) pick() int {
 	n := s.fleet.Servers()
-	switch s.cfg.Policy {
+	policy := s.cfg.Policy
+	if s.degraded {
+		policy = FirstFit
+	}
+	switch policy {
 	case FirstFit:
 		for i := 0; i < n; i++ {
-			if s.free(i) >= 1 {
+			if !s.avoid(i) && s.free(i) >= 1 {
 				return i
 			}
 		}
 	case BestFit:
 		best, bestFree := -1, 0
 		for i := 0; i < n; i++ {
+			if s.avoid(i) {
+				continue
+			}
 			if f := s.free(i); f > bestFree {
 				best, bestFree = i, f
 			}
@@ -361,6 +502,9 @@ func (s *scheduler) pick() int {
 		// chooses among servers, it cannot conjure cores).
 		best, bestFc := -1, 0
 		for i := 0; i < n; i++ {
+			if s.avoid(i) {
+				continue
+			}
 			fc := s.fleet.ForecastCores(i) - s.committed[i]
 			if fc >= 1 && s.free(i) >= 1 && fc > bestFc {
 				best, bestFc = i, fc
@@ -372,16 +516,88 @@ func (s *scheduler) pick() int {
 }
 
 // tryPlace starts pending jobs while the policy finds room (FIFO).
+// Degraded admission throttles to one placement per round.
 func (s *scheduler) tryPlace() {
+	placed := 0
 	for len(s.pending) > 0 {
+		if s.degraded && placed >= 1 {
+			return
+		}
 		target := s.pick()
 		if target < 0 {
 			return
 		}
 		j := s.pending[0]
 		s.pending = s.pending[1:]
-		s.start(j, target)
+		if s.beginPlace(j, target, 1) {
+			placed++
+		}
 	}
+}
+
+// beginPlace runs one placement operation against target. Without a
+// fault injector it is the synchronous start it always was. With one,
+// the grant can be dropped (retry with bounded exponential backoff,
+// then back to the queue) or delayed (the start lands late and is
+// re-validated). Reports whether the job started now.
+func (s *scheduler) beginPlace(j *job, target, attempt int) bool {
+	if s.fleetInj != nil {
+		drop, delay := s.fleetInj.GrantFault(target)
+		if drop {
+			now := s.loop.Now()
+			s.noteFault(now)
+			s.grantDropped(target, now)
+			if attempt <= s.cfg.MaxPlacementRetries {
+				backoff := s.cfg.PlacementBackoff << (attempt - 1)
+				s.res.PlacementRetries++
+				if s.obs != nil {
+					s.obs.OnPlacementRetry(obs.PlacementRetry{
+						At: now, Job: j.name, Server: target,
+						Attempt: attempt, Backoff: backoff,
+					})
+				}
+				s.loop.After(backoff, func() { s.retryPlace(j, attempt+1) })
+			} else {
+				// Retry budget exhausted: the job rejoins the queue and
+				// waits for a calmer fleet.
+				s.pending = append(s.pending, j)
+			}
+			return false
+		}
+		// The grant went through (if late): the server answered, so its
+		// failure streak resets.
+		s.health[target].failStreak = 0
+		if delay > 0 {
+			s.loop.After(delay, func() { s.delayedStart(j, target) })
+			return false
+		}
+	}
+	s.start(j, target)
+	return true
+}
+
+// retryPlace re-runs a dropped placement with a fresh pick — the
+// original target may have been quarantined or crashed meanwhile.
+func (s *scheduler) retryPlace(j *job, attempt int) {
+	if j.state != statePending {
+		return
+	}
+	target := s.pick()
+	if target < 0 {
+		s.pending = append(s.pending, j)
+		return
+	}
+	s.beginPlace(j, target, attempt)
+}
+
+// delayedStart lands a delayed grant: the capacity and the server's
+// health must be re-validated, since both may have changed in flight.
+func (s *scheduler) delayedStart(j *job, target int) {
+	if s.fleet.Crashed(target) || s.avoid(target) || s.free(target) < 1 {
+		s.pending = append(s.pending, j)
+		return
+	}
+	s.start(j, target)
 }
 
 func (s *scheduler) start(j *job, server int) {
@@ -455,12 +671,51 @@ func (s *scheduler) complete(j *job) {
 	s.tryPlace()
 }
 
+// readHarvest returns server i's harvested-core telemetry and whether
+// the reading is fresh. Under a read-stale fault the last fresh value is
+// returned instead — that is what a monitoring channel serving cached
+// data looks like. Without an injector the read is always fresh.
+func (s *scheduler) readHarvest(i int) (int, bool) {
+	if s.fleetInj != nil && s.fleetInj.ReadStale(i) {
+		return s.lastHarvest[i], false
+	}
+	h := s.fleet.HarvestedCores(i)
+	if s.lastHarvest != nil {
+		s.lastHarvest[i] = h
+	}
+	return h, true
+}
+
 // reconcile evicts jobs from servers whose harvest collapsed below their
 // commitments, requeues the survivors' remainders, and places whatever
 // now fits.
 func (s *scheduler) reconcile() {
+	now := s.loop.Now()
 	for i := range s.running {
-		h := s.fleet.HarvestedCores(i)
+		if s.fleet.Crashed(i) {
+			// Crash handling already orphaned this server's jobs; there
+			// is nothing to reconcile until it restarts.
+			continue
+		}
+		if s.fleetInj != nil && s.fleetInj.ReconcileLoss(i) {
+			s.noteFault(now)
+			continue // this round's reconcile message was lost
+		}
+		h, fresh := s.readHarvest(i)
+		if s.committed[i] <= h {
+			continue
+		}
+		if !fresh {
+			// A collapsed reading from stale telemetry is not evidence of
+			// a real collapse — it may be a cached zero from before the
+			// harvest ramped up. Confirm with a fresh read before evicting
+			// anything; if the channel stays stale, defer to next round
+			// rather than evict on data we cannot trust.
+			h, fresh = s.readHarvest(i)
+			if !fresh || s.committed[i] <= h {
+				continue
+			}
+		}
 		// Evict newest-first: the most recently placed jobs have the
 		// least progress to protect.
 		for s.committed[i] > h {
@@ -471,7 +726,154 @@ func (s *scheduler) reconcile() {
 			s.evict(victim)
 		}
 	}
+	if s.health != nil {
+		s.pruneFaults(now)
+		if s.degraded && len(s.faultTimes) <= s.cfg.DegradeExit {
+			s.degraded = false
+			if s.obs != nil {
+				s.obs.OnAdmissionDegraded(obs.AdmissionDegraded{
+					At: now, Entered: false,
+					Faults: len(s.faultTimes), Window: s.cfg.DegradeWindow,
+				})
+			}
+		}
+	}
 	s.tryPlace()
+}
+
+// noteFault records one fault signal (dropped grant, crash, lost
+// reconcile) in the sliding degradation window, entering degraded
+// admission when the windowed count crosses the threshold.
+func (s *scheduler) noteFault(now sim.Time) {
+	s.faultTimes = append(s.faultTimes, now)
+	s.pruneFaults(now)
+	if !s.degraded && len(s.faultTimes) >= s.cfg.DegradeEnter {
+		s.degraded = true
+		s.res.Degraded++
+		if s.obs != nil {
+			s.obs.OnAdmissionDegraded(obs.AdmissionDegraded{
+				At: now, Entered: true,
+				Faults: len(s.faultTimes), Window: s.cfg.DegradeWindow,
+			})
+		}
+	}
+}
+
+func (s *scheduler) pruneFaults(now sim.Time) {
+	cut := now - s.cfg.DegradeWindow
+	k := 0
+	for _, t := range s.faultTimes {
+		if t > cut {
+			s.faultTimes[k] = t
+			k++
+		}
+	}
+	s.faultTimes = s.faultTimes[:k]
+}
+
+// grantDropped charges a dropped grant to the server's failure streak
+// and quarantines it when the streak crosses the threshold.
+func (s *scheduler) grantDropped(server int, now sim.Time) {
+	h := &s.health[server]
+	h.failStreak++
+	if h.failStreak >= s.cfg.QuarantineAfter && !(h.quarantined && now < h.quarUntil) {
+		s.quarantine(server, now, false)
+	}
+}
+
+// quarantine takes server i out of placement rotation for a window that
+// doubles with each re-entry, capped at QuarantineMax.
+func (s *scheduler) quarantine(server int, now sim.Time, crash bool) {
+	h := &s.health[server]
+	dur := s.cfg.QuarantineMax
+	if h.quarStreak < 32 {
+		if d := s.cfg.QuarantineDur << h.quarStreak; d < dur {
+			dur = d
+		}
+		h.quarStreak++
+	}
+	h.quarantined = true
+	h.quarUntil = now + dur
+	s.res.Quarantines++
+	if s.obs != nil {
+		s.obs.OnServerQuarantine(obs.ServerQuarantine{
+			At: now, Server: server, Failures: h.failStreak,
+			Crash: crash, Until: h.quarUntil,
+		})
+	}
+	s.loop.After(dur, func() { s.probation(server) })
+}
+
+// probation re-admits a quarantined server on trial once its window
+// elapses: it can take placements again, but one more failure before
+// ProbationDur passes re-quarantines it with a doubled window, and a
+// clean probation clears its record.
+func (s *scheduler) probation(server int) {
+	now := s.loop.Now()
+	h := &s.health[server]
+	if s.fleet.Crashed(server) {
+		// Down again already: the restart path re-quarantines; this
+		// probation window never opens.
+		return
+	}
+	if !h.quarantined || now < h.quarUntil {
+		return // stale timer from an earlier, superseded quarantine
+	}
+	h.quarantined = false
+	h.probUntil = now + s.cfg.ProbationDur
+	if s.obs != nil {
+		s.obs.OnServerProbation(obs.ServerProbation{
+			At: now, Server: server, Until: h.probUntil,
+		})
+	}
+	s.loop.After(s.cfg.ProbationDur, func() { s.probationEnd(server) })
+	s.tryPlace()
+}
+
+func (s *scheduler) probationEnd(server int) {
+	h := &s.health[server]
+	if h.quarantined || s.fleet.Crashed(server) {
+		return // flapped back inside probation; the record stands
+	}
+	if s.loop.Now() < h.probUntil {
+		return
+	}
+	h.failStreak, h.quarStreak, h.probUntil = 0, 0, 0
+}
+
+// onCrash is the fleet's server-crash callback: every job running on
+// the server is orphaned and immediately evicted — budget-charged, with
+// checkpointed progress intact — then re-placed across the survivors by
+// the normal path. Work is never lost silently and never double-counted.
+func (s *scheduler) onCrash(server int) {
+	now := s.loop.Now()
+	s.res.Crashes++
+	s.noteFault(now)
+	for _, j := range append([]*job(nil), s.running[server]...) {
+		if j.app.Done() {
+			// Work finished before the crash; the deferred completion
+			// fires at this same instant and settles the job.
+			continue
+		}
+		s.res.Orphaned++
+		s.evict(j)
+	}
+	if s.lastHarvest != nil {
+		s.lastHarvest[server] = 0
+	}
+	s.tryPlace()
+}
+
+// onRestart is the fleet's server-restart callback: a returning server
+// is not trusted yet — it enters quarantine (doubling with each crash)
+// and must pass probation before its record clears.
+func (s *scheduler) onRestart(server int) {
+	now := s.loop.Now()
+	h := &s.health[server]
+	if h.quarantined && now < h.quarUntil {
+		return // an active quarantine window already covers it
+	}
+	s.quarantine(server, now, true)
 }
 
 // newestVictim returns server i's most recently placed evictable job

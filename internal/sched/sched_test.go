@@ -1,11 +1,14 @@
 package sched
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"smartharvest/internal/check"
 	"smartharvest/internal/cluster"
+	"smartharvest/internal/faults"
+	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
 
@@ -200,5 +203,148 @@ func BenchmarkPlacement(b *testing.B) {
 		if _, err := Run(BenchConfig(1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func mustPlan(t *testing.T, s string) faults.Plan {
+	t.Helper()
+	p, err := faults.ParsePlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSchedSurvivesServerCrashes(t *testing.T) {
+	fc := quietFleet(19)
+	fc.Faults = mustPlan(t, "scrash=0.004,srestartdur=400ms")
+	c := check.NewJobChecker()
+	res, err := Run(Config{Fleet: fc, Policy: FirstFit, ArrivalRate: 2, Checker: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Check.Violations; len(v) > 0 {
+		t.Fatalf("checker violations under crashes: %v", v[0])
+	}
+	if res.Crashes == 0 {
+		t.Fatal("no crashes at scrash=0.004 over 40s")
+	}
+	if res.Orphaned == 0 {
+		t.Fatal("crashes never caught a running job")
+	}
+	if res.Evictions < res.Orphaned {
+		t.Fatalf("%d orphan evictions not charged to the %d total", res.Orphaned, res.Evictions)
+	}
+	if res.Quarantines == 0 {
+		t.Fatal("restarted servers were never quarantined")
+	}
+	if res.Completed == 0 {
+		t.Fatal("the fleet completed nothing despite self-healing")
+	}
+}
+
+func TestSchedStaleReadStormDoesNotMassEvict(t *testing.T) {
+	// Regression: the reconcile loop used to trust a single collapsed
+	// harvest reading, so a stale telemetry channel serving its initial
+	// zero would be mistaken for a collapse and evict every running job
+	// each round. A collapse seen on a stale read must now be confirmed
+	// by a fresh one before anything is evicted.
+	fc := quietFleet(23)
+	fc.Faults = mustPlan(t, "rstale=1")
+	c := check.NewJobChecker()
+	res, err := Run(Config{Fleet: fc, Policy: FirstFit, Checker: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Check.Violations; len(v) > 0 {
+		t.Fatalf("checker violations under stale reads: %v", v[0])
+	}
+	if res.Evictions != 0 {
+		t.Fatalf("%d evictions from stale telemetry alone; collapse was never confirmed fresh",
+			res.Evictions)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no jobs completed through a stale-read storm")
+	}
+}
+
+func TestSchedGrantDropsRetryThenQuarantine(t *testing.T) {
+	fc := quietFleet(29)
+	fc.Faults = mustPlan(t, "gdrop=0.6")
+	c := check.NewJobChecker()
+	res, err := Run(Config{
+		Fleet: fc, Policy: Predicted, ArrivalRate: 2,
+		QuarantineAfter: 2, Checker: c,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Check.Violations; len(v) > 0 {
+		t.Fatalf("checker violations under grant drops: %v", v[0])
+	}
+	if res.PlacementRetries == 0 {
+		t.Fatal("dropped grants were never retried")
+	}
+	if res.Quarantines == 0 {
+		t.Fatal("a 60% drop rate never quarantined a server")
+	}
+	if res.Completed == 0 {
+		t.Fatal("no jobs completed despite retries")
+	}
+}
+
+func TestSchedDegradedAdmissionUnderFaultStorm(t *testing.T) {
+	fc := quietFleet(31)
+	fc.Faults = mustPlan(t, "gdrop=0.9,rloss=0.4,scrash=0.008")
+	m := obs.NewMetrics()
+	fc.Observer = m
+	c := check.NewJobChecker()
+	res, err := Run(Config{Fleet: fc, Policy: BestFit, ArrivalRate: 4, Checker: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Check.Violations; len(v) > 0 {
+		t.Fatalf("checker violations under the fault storm: %v", v[0])
+	}
+	if res.Degraded == 0 {
+		t.Fatal("admission never degraded under a sustained fault storm")
+	}
+	if m.AdmissionDegraded != uint64(res.Degraded) {
+		t.Fatalf("metrics saw %d degradations, result says %d", m.AdmissionDegraded, res.Degraded)
+	}
+	if m.AdmissionRecovered == 0 {
+		t.Fatal("admission never recovered between fault bursts")
+	}
+}
+
+func TestSchedResilienceKnobsInertOnFaultFreeRuns(t *testing.T) {
+	// The resilience machinery must be invisible without fleet faults:
+	// a fault-free run's full event trace is byte-identical no matter
+	// how the knobs are tuned.
+	trace := func(cfg Config) []byte {
+		var buf bytes.Buffer
+		cfg.Fleet.Observer = obs.NewJSONL(&buf)
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := Config{Fleet: churnFleet(7), Policy: Predicted}
+	tuned := base
+	tuned.MaxPlacementRetries = 9
+	tuned.PlacementBackoff = sim.Millisecond
+	tuned.QuarantineAfter = 1
+	tuned.QuarantineDur = 50 * sim.Millisecond
+	tuned.QuarantineMax = 200 * sim.Millisecond
+	tuned.ProbationDur = 100 * sim.Millisecond
+	tuned.DegradeWindow = sim.Second
+	tuned.DegradeEnter = 2
+	tuned.DegradeExit = 1
+	a, b := trace(base), trace(tuned)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resilience knobs perturbed a fault-free run: %d vs %d trace bytes", len(a), len(b))
 	}
 }
