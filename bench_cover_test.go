@@ -45,6 +45,7 @@ var experimentBenchmarks = map[string]string{
 	"BenchmarkChaos":      "chaos",
 	"BenchmarkFleetChaos": "fleetchaos",
 	"BenchmarkPredictors": "predictors",
+	"BenchmarkMarket":     "market",
 }
 
 // TestBenchmarkCoverage: the experiment registry and the root benchmark

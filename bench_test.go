@@ -83,6 +83,7 @@ func BenchmarkMemHarvest(b *testing.B) { benchExperiment(b, "memharvest") }
 func BenchmarkChaos(b *testing.B)      { benchExperiment(b, "chaos") }
 func BenchmarkFleetChaos(b *testing.B) { benchExperiment(b, "fleetchaos") }
 func BenchmarkPredictors(b *testing.B) { benchExperiment(b, "predictors") }
+func BenchmarkMarket(b *testing.B)     { benchExperiment(b, "market") }
 
 // BenchmarkTable3_* are the real microbenchmarks behind the paper's
 // Table 3 — the latency of each learning operation in this

@@ -38,6 +38,13 @@
 //	-predictor swap the peak predictor on every smartharvest scenario
 //	           (csoaa, adagrad, ewma, periodic, mlp, ensemble); the
 //	           predictors experiment ignores this and always sweeps all
+//	-pools     harvested-capacity pool plan (internal/market grammar) for
+//	           the sched and market experiments: sched opens it on every
+//	           run's fleet, market runs it in place of its built-in
+//	           overcommit × tier-mix grid; other experiments ignore it
+//	-tenants   tenant workload-characterization class (flat, periodic,
+//	           bursty, mixed) replacing the sched/market fleets' default
+//	           tenant mix; other experiments ignore it
 //	-list      list experiment IDs and exit
 //
 // Grid mode (declarative experiment plans; see internal/bench):
@@ -71,7 +78,9 @@ import (
 	"smartharvest/internal/experiments"
 	"smartharvest/internal/faults"
 	"smartharvest/internal/harness"
+	"smartharvest/internal/market"
 	"smartharvest/internal/sim"
+	"smartharvest/internal/workload"
 )
 
 // jobOutput is everything one experiment (all its seeds) produced.
@@ -95,6 +104,8 @@ func main() {
 	checkRuns := flag.Bool("check", false, "verify safety invariants on every scenario run (fails the experiment on violation)")
 	faultsPlan := flag.String("faults", "", "fault plan for the sched experiment's fleet (key=value pairs; agent keys: hfail, hdelay, drop, stale, noise, stall, crash; fleet keys: scrash, gdrop, gdelay, rstale, rloss, srestartdur, gdelaydur; e.g. 'drop=0.01,scrash=0.002')")
 	predictor := flag.String("predictor", "", "peak predictor for every smartharvest row: csoaa (default), adagrad, ewma, periodic, mlp, ensemble")
+	poolSpec := flag.String("pools", "", "harvested-capacity pool plan for the sched and market experiments, e.g. 'overcommit=1.5;name=acme,tier=standard,reserved=4,price=2' (see internal/market; market runs it in place of its overcommit x tier-mix grid)")
+	tenantMix := flag.String("tenants", "", "tenant workload-characterization class for the sched and market experiments: flat, periodic, bursty, mixed (default: the four-primaries mix)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	gridFile := flag.String("grid", "", "run the declarative JSON experiment grid in FILE (see internal/bench)")
 	gridOut := flag.String("grid-out", "grid-out", "artifact directory for -grid runs")
@@ -143,6 +154,20 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Predictor = kind
+	}
+	if *poolSpec != "" {
+		if _, err := market.ParsePools(*poolSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Pools = *poolSpec
+	}
+	if *tenantMix != "" {
+		if _, err := workload.ParseClass(*tenantMix); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.TenantMix = *tenantMix
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"smartharvest/internal/faults"
+	"smartharvest/internal/market"
+	"smartharvest/internal/workload"
 )
 
 // TestFaultsFlagRoundTrip pins the -faults flag syntax this command
@@ -60,6 +62,85 @@ func TestFaultsFlagRejectsGarbage(t *testing.T) {
 	for _, in := range cases {
 		if _, err := faults.ParsePlan(in); err == nil {
 			t.Errorf("ParsePlan(%q) accepted garbage", in)
+		}
+	}
+}
+
+// TestPoolsFlagRoundTrip pins the -pools flag syntax this command feeds
+// into experiments.Config.Pools: every plan a user can type must
+// survive parse → String → parse with an identical canonical rendering.
+func TestPoolsFlagRoundTrip(t *testing.T) {
+	empty, err := market.ParsePools("")
+	if err != nil {
+		t.Fatalf("ParsePools(\"\"): %v", err)
+	}
+	if empty.Enabled() || empty.String() != "none" {
+		t.Errorf("empty spec parsed to %q (enabled=%v), want the disabled plan rendered as \"none\"", empty, empty.Enabled())
+	}
+	cases := []string{
+		"name=acme,tier=spot,reserved=4",
+		"overcommit=1.5;name=acme,tier=standard,reserved=4,price=2",
+		"name=a,tier=spot,reserved=2;name=b,tier=premium,reserved=1,size=90s,at=3s",
+		"overcommit=2", // overcommit without pools: valid, still disabled
+		"name=big,tier=standard,reserved=16,size=10m,price=0.5,at=1.5s",
+	}
+	for _, in := range cases {
+		plan, err := market.ParsePools(in)
+		if err != nil {
+			t.Errorf("ParsePools(%q): %v", in, err)
+			continue
+		}
+		again, err := market.ParsePools(plan.String())
+		if err != nil {
+			t.Errorf("ParsePools(%q).String() = %q does not reparse: %v", in, plan.String(), err)
+			continue
+		}
+		if again.String() != plan.String() {
+			t.Errorf("ParsePools(%q) round-trip changed the plan:\n first %q\nsecond %q", in, plan, again)
+		}
+	}
+}
+
+// TestPoolsFlagRejectsGarbage pins that a mistyped -pools value exits
+// with a parse error instead of running with a silently empty plan.
+func TestPoolsFlagRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"bogus=1",                            // unknown key
+		"name=a",                             // pool without tier/reserved
+		"name=,tier=spot,reserved=1",         // empty name
+		"name=a,tier=gold,reserved=1",        // unknown tier
+		"name=a,tier=spot,reserved=0",        // non-positive reservation
+		"name=a,tier=spot reserved=2",        // missing '='
+		"name=a,tier=spot,reserved=1,size=5", // duration without a unit
+		"name=a,tier=spot,reserved=1,at=-1s", // negative time
+		"overcommit=nope",                    // not a number
+		"overcommit=-1",                      // negative overcommit
+		"name=a,tier=spot,reserved=1;name=a,tier=spot,reserved=1", // duplicate name
+	}
+	for _, in := range cases {
+		if _, err := market.ParsePools(in); err == nil {
+			t.Errorf("ParsePools(%q) accepted garbage", in)
+		}
+	}
+}
+
+// TestTenantsFlag pins the -tenants vocabulary this command feeds into
+// experiments.Config.TenantMix: the four characterization classes parse
+// and round-trip through String, everything else is rejected eagerly.
+func TestTenantsFlag(t *testing.T) {
+	for _, in := range []string{"flat", "periodic", "bursty", "mixed"} {
+		class, err := workload.ParseClass(in)
+		if err != nil {
+			t.Errorf("ParseClass(%q): %v", in, err)
+			continue
+		}
+		if class.String() != in {
+			t.Errorf("ParseClass(%q).String() = %q", in, class.String())
+		}
+	}
+	for _, in := range []string{"", "diurnal", "FLAT", "bursty,flat", "random"} {
+		if _, err := workload.ParseClass(in); err == nil {
+			t.Errorf("ParseClass(%q) accepted garbage", in)
 		}
 	}
 }

@@ -134,6 +134,7 @@ func main() {
 	guard := flag.Bool("long-term-safeguard", true, "enable the long-term QoS safeguard")
 	speedup := flag.Bool("speedup", false, "also run a NoHarvest baseline and report the batch speedup")
 	faultSpec := flag.String("faults", "", "fault-injection plan as key=value pairs, e.g. hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms (keys: hfail, hdelay, drop, stale, noise, stall, crash, hdelaymean, hdelayp99, stalldur, restartdur, losemodel; fleet keys scrash, gdrop, gdelay, rstale, rloss need a multi-server fleet and are rejected here)")
+	poolSpec := flag.String("pools", "", "harvested-capacity pool plan, e.g. 'overcommit=1.5;name=acme,tier=standard,reserved=4' (pools need a multi-server fleet and are rejected here; use cmd/experiments -pools)")
 	trace := flag.String("trace", "", "write a JSONL event trace of the run to this file (poll samples included)")
 	checkRun := flag.Bool("check", false, "verify the run against the safety invariants and print the report (exit 1 on violation)")
 	flag.Parse()
@@ -170,6 +171,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	pools, err := smartharvest.ParsePools(*poolSpec)
+	if err != nil {
+		fail(err)
+	}
 
 	s := smartharvest.Scenario{
 		Name:              "cli",
@@ -184,6 +189,7 @@ func main() {
 		Seed:              *seed,
 		LongTermSafeguard: *guard,
 		Faults:            plan,
+		Pools:             pools,
 	}
 
 	if *trace != "" {

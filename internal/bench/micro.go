@@ -2,6 +2,7 @@ package bench
 
 import (
 	"smartharvest/internal/learner"
+	"smartharvest/internal/market"
 	"smartharvest/internal/sched"
 	"smartharvest/internal/sim"
 	"smartharvest/internal/simrng"
@@ -113,6 +114,31 @@ func Micros() []Micro {
 				return func(n int) {
 					for i := 0; i < n; i++ {
 						c.Update(x, costs)
+					}
+				}
+			},
+		},
+		{
+			Name: "market/admission", Pkg: "./internal/market", GoBench: "BenchmarkAdmission",
+			Setup: func() func(n int) {
+				cfg, err := market.ParsePools("name=s,tier=spot,reserved=8;name=m,tier=standard,reserved=4;name=p,tier=premium,reserved=2")
+				if err != nil {
+					panic(err) // fixed plan; cannot fail
+				}
+				return func(n int) {
+					for i := 0; i < n; i++ {
+						l, err := market.NewLedger(cfg, 1, func() sim.Time { return 0 }, nil)
+						if err != nil {
+							panic(err)
+						}
+						for s := range l.Specs() {
+							l.TryOpen(s, 16)
+						}
+						for j := 0; j < 64; j++ {
+							if l.AssignPool() == nil {
+								panic("no pool assigned")
+							}
+						}
 					}
 				}
 			},

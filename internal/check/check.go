@@ -936,6 +936,34 @@ func (c *Checker) OnAdmissionDegraded(e obs.AdmissionDegraded) {
 	c.enter(obs.Record{Kind: obs.KindAdmissionDegraded, AdmissionDegraded: e}, e.At)
 }
 
+// Capacity-market events carry ledger invariants verified by the
+// JobChecker; the per-machine Checker only records them for context.
+
+func (c *Checker) OnPoolOpen(e obs.PoolOpen) {
+	c.ring.OnPoolOpen(e)
+	c.enter(obs.Record{Kind: obs.KindPoolOpen, PoolOpen: e}, e.At)
+}
+func (c *Checker) OnPoolReject(e obs.PoolReject) {
+	c.ring.OnPoolReject(e)
+	c.enter(obs.Record{Kind: obs.KindPoolReject, PoolReject: e}, e.At)
+}
+func (c *Checker) OnPoolGrant(e obs.PoolGrant) {
+	c.ring.OnPoolGrant(e)
+	c.enter(obs.Record{Kind: obs.KindPoolGrant, PoolGrant: e}, e.At)
+}
+func (c *Checker) OnPoolAccount(e obs.PoolAccount) {
+	c.ring.OnPoolAccount(e)
+	c.enter(obs.Record{Kind: obs.KindPoolAccount, PoolAccount: e}, e.At)
+}
+func (c *Checker) OnPoolEvict(e obs.PoolEvict) {
+	c.ring.OnPoolEvict(e)
+	c.enter(obs.Record{Kind: obs.KindPoolEvict, PoolEvict: e}, e.At)
+}
+func (c *Checker) OnPoolSettle(e obs.PoolSettle) {
+	c.ring.OnPoolSettle(e)
+	c.enter(obs.Record{Kind: obs.KindPoolSettle, PoolSettle: e}, e.At)
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

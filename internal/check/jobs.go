@@ -2,7 +2,9 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
+	"smartharvest/internal/market"
 	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
@@ -49,6 +51,24 @@ const (
 	// InvAdmissionLegal: degraded-admission transitions alternate
 	// enter/exit and honor the configured fault-count thresholds.
 	InvAdmissionLegal = "admission-legality"
+	// InvPoolConservation: pool balances are conserved — every
+	// PoolAccount's balance is exactly the previous balance plus refill
+	// minus drain, bounded by [0, size], and jobs are granted only
+	// against a positive balance.
+	InvPoolConservation = "pool-conservation"
+	// InvTierOrdering: capacity evictions honor the SLA ladder — a
+	// member job is preempted for harvest collapse only when no
+	// lower-tier job is still running on the same server.
+	InvTierOrdering = "tier-ordering"
+	// InvOvercommitBound: pool admission is legal — every PoolOpen fits
+	// the tier's committed reservations under overcommit × tier factor ×
+	// forecast, and every PoolReject would actually have exceeded it.
+	InvOvercommitBound = "overcommit-bound"
+	// InvPenaltyAccounting: SLA penalties are charged exactly — a
+	// capacity eviction is a violation iff it exceeds the tier's budget,
+	// each violation costs penalty factor × pool price, and the
+	// PoolSettle totals match the event stream.
+	InvPenaltyAccounting = "penalty-accounting"
 )
 
 // JobConfig binds a JobChecker to the facts of one scheduler run.
@@ -79,6 +99,12 @@ type JobConfig struct {
 	// DegradeEnter > 0).
 	DegradeEnter int
 	DegradeExit  int
+
+	// Market is the harvested-capacity market config in force (see
+	// internal/market); the checker recomputes admission bounds, SLA
+	// budgets, and penalties from it. The zero value still validates
+	// pool-event bookkeeping, with the default overcommit ratio.
+	Market market.Config
 }
 
 // Job lifecycle states tracked by the JobChecker.
@@ -144,8 +170,29 @@ type JobChecker struct {
 	orphanAt sim.Time
 	degraded bool // degraded-admission state from AdmissionDegraded events
 
+	// Capacity-market state reconstructed from pool-* events (nil maps
+	// until the first pool event; zero outside market runs).
+	pools         map[string]*poolState
+	jobPool       map[string]*poolState // running job → funding pool (PoolGrant)
+	poolCommitted [3]int                // admitted reserved cores per tier
+
 	report   Report
 	finished bool
+}
+
+// poolState is one admitted pool's accounting as reconstructed from the
+// event stream.
+type poolState struct {
+	tier       market.Tier
+	reserved   int
+	size       sim.Time
+	price      float64
+	balance    sim.Time
+	consumed   sim.Time
+	evictions  int
+	violations int
+	penalties  float64
+	settled    bool
 }
 
 // serverHealth is one server's state as reconstructed from the event
@@ -382,6 +429,7 @@ func (c *JobChecker) OnJobEvict(e obs.JobEvict) {
 	}
 	c.release(j)
 	delete(c.orphans, e.Job)
+	delete(c.jobPool, e.Job)
 	j.progress = e.Progress
 	j.evictions = e.Evictions
 	if e.Final {
@@ -461,6 +509,7 @@ func (c *JobChecker) OnJobComplete(e obs.JobComplete) {
 	}
 	c.release(j)
 	delete(c.orphans, e.Job)
+	delete(c.jobPool, e.Job)
 	j.phase = jobDone
 	j.progress = j.work
 }
@@ -706,6 +755,283 @@ func (c *JobChecker) OnAdmissionDegraded(e obs.AdmissionDegraded) {
 		}
 	}
 	c.degraded = e.Entered
+}
+
+// poolTier parses an event's tier name, charging inv on failure.
+func (c *JobChecker) poolTier(inv, tier string, at sim.Time, rec obs.Record) (market.Tier, bool) {
+	t, err := market.ParseTier(tier)
+	if err != nil {
+		c.violatef(inv, at, rec, "pool event carries unknown tier %q", tier)
+		return 0, false
+	}
+	return t, true
+}
+
+// OnPoolOpen implements obs.Observer: verify the admission decision
+// against the overcommit bound and start tracking the pool.
+func (c *JobChecker) OnPoolOpen(e obs.PoolOpen) {
+	c.ring.OnPoolOpen(e)
+	rec := obs.Record{Kind: obs.KindPoolOpen, PoolOpen: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	t, ok := c.poolTier(InvOvercommitBound, e.Tier, e.At, rec)
+	if !ok {
+		return
+	}
+	if _, dup := c.pools[e.Pool]; dup {
+		c.violatef(InvOvercommitBound, e.At, rec, "pool %q opened twice", e.Pool)
+		return
+	}
+	if e.Reserved < 1 || e.Size <= 0 {
+		c.violatef(InvOvercommitBound, e.At, rec,
+			"pool %q opened with reserved %d and size %v", e.Pool, e.Reserved, e.Size)
+	}
+	bound := market.BoundFor(c.cfg.Market.EffectiveOvercommit(), t, e.Forecast)
+	if e.Bound != bound {
+		c.violatef(InvOvercommitBound, e.At, rec,
+			"pool %q admission reports bound %v, overcommit %v × %s factor × forecast %d gives %v",
+			e.Pool, e.Bound, c.cfg.Market.EffectiveOvercommit(), t, e.Forecast, bound)
+	}
+	committed := c.poolCommitted[t] + e.Reserved
+	if float64(committed) > bound {
+		c.violatef(InvOvercommitBound, e.At, rec,
+			"pool %q admitted with %d reserved %s cores committed, bound is %v",
+			e.Pool, committed, t, bound)
+	}
+	if e.Committed != committed {
+		c.violatef(InvOvercommitBound, e.At, rec,
+			"pool %q admission reports %d committed %s cores, tracking gives %d",
+			e.Pool, e.Committed, t, committed)
+	}
+	c.poolCommitted[t] = committed
+	if c.pools == nil {
+		c.pools = make(map[string]*poolState)
+	}
+	c.pools[e.Pool] = &poolState{
+		tier: t, reserved: e.Reserved, size: e.Size, price: e.Price,
+	}
+}
+
+// OnPoolReject implements obs.Observer: a rejection must actually have
+// exceeded the tier's bound.
+func (c *JobChecker) OnPoolReject(e obs.PoolReject) {
+	c.ring.OnPoolReject(e)
+	rec := obs.Record{Kind: obs.KindPoolReject, PoolReject: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	t, ok := c.poolTier(InvOvercommitBound, e.Tier, e.At, rec)
+	if !ok {
+		return
+	}
+	bound := market.BoundFor(c.cfg.Market.EffectiveOvercommit(), t, e.Forecast)
+	if e.Bound != bound {
+		c.violatef(InvOvercommitBound, e.At, rec,
+			"pool %q rejection reports bound %v, overcommit %v × %s factor × forecast %d gives %v",
+			e.Pool, e.Bound, c.cfg.Market.EffectiveOvercommit(), t, e.Forecast, bound)
+	}
+	if float64(c.poolCommitted[t]+e.Reserved) <= bound {
+		c.violatef(InvOvercommitBound, e.At, rec,
+			"pool %q rejected though %d+%d reserved %s cores fit the bound %v",
+			e.Pool, c.poolCommitted[t], e.Reserved, t, bound)
+	}
+	if e.Committed != c.poolCommitted[t] {
+		c.violatef(InvOvercommitBound, e.At, rec,
+			"pool %q rejection reports %d committed %s cores, tracking gives %d",
+			e.Pool, e.Committed, t, c.poolCommitted[t])
+	}
+}
+
+// OnPoolGrant implements obs.Observer: placements are funded only by a
+// known pool with a positive balance, and bind the job to it.
+func (c *JobChecker) OnPoolGrant(e obs.PoolGrant) {
+	c.ring.OnPoolGrant(e)
+	rec := obs.Record{Kind: obs.KindPoolGrant, PoolGrant: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	p, ok := c.pools[e.Pool]
+	if !ok {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"job %q granted against unknown pool %q", e.Job, e.Pool)
+		return
+	}
+	if e.Tier != p.tier.String() {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"job %q grant names tier %q, pool %q is %s", e.Job, e.Tier, e.Pool, p.tier)
+	}
+	if e.Balance <= 0 {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"job %q granted from pool %q with non-positive balance %v", e.Job, e.Pool, e.Balance)
+	}
+	if e.Balance != p.balance {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"job %q grant reports pool %q balance %v, tracking gives %v",
+			e.Job, e.Pool, e.Balance, p.balance)
+	}
+	j, ok := c.jobs[e.Job]
+	if !ok || j.phase != jobRunning {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"pool grant for job %q, which is not running", e.Job)
+		return
+	}
+	if c.jobPool == nil {
+		c.jobPool = make(map[string]*poolState)
+	}
+	c.jobPool[e.Job] = p
+}
+
+// OnPoolAccount implements obs.Observer: the conservation law itself.
+func (c *JobChecker) OnPoolAccount(e obs.PoolAccount) {
+	c.ring.OnPoolAccount(e)
+	rec := obs.Record{Kind: obs.KindPoolAccount, PoolAccount: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	p, ok := c.pools[e.Pool]
+	if !ok {
+		c.violatef(InvPoolConservation, e.At, rec, "accounting for unknown pool %q", e.Pool)
+		return
+	}
+	if e.Refill < 0 || e.Drain < 0 {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"pool %q tick with negative refill %v or drain %v", e.Pool, e.Refill, e.Drain)
+	}
+	if want := p.balance + e.Refill - e.Drain; e.Balance != want {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"pool %q balance %v, previous %v + refill %v - drain %v gives %v",
+			e.Pool, e.Balance, p.balance, e.Refill, e.Drain, want)
+	}
+	if e.Balance < 0 || e.Balance > p.size {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"pool %q balance %v outside [0, size %v]", e.Pool, e.Balance, p.size)
+	}
+	p.balance = e.Balance
+	p.consumed += e.Drain
+}
+
+// OnPoolEvict implements obs.Observer: tier ordering for capacity
+// evictions, and exact SLA-budget/penalty accounting.
+func (c *JobChecker) OnPoolEvict(e obs.PoolEvict) {
+	c.ring.OnPoolEvict(e)
+	rec := obs.Record{Kind: obs.KindPoolEvict, PoolEvict: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	p, ok := c.pools[e.Pool]
+	if !ok {
+		c.violatef(InvPenaltyAccounting, e.At, rec,
+			"job %q pool-evicted from unknown pool %q", e.Job, e.Pool)
+		return
+	}
+	switch e.Reason {
+	case "capacity":
+		// The victim must still be running here (its JobEvict follows);
+		// ascending-tier order means no lower-tier job survives on the
+		// same server while this one is preempted.
+		if j, ok := c.jobs[e.Job]; ok && j.phase == jobRunning {
+			var lower []string
+			for name, q := range c.jobPool {
+				if name == e.Job || q.tier >= p.tier {
+					continue
+				}
+				if k, ok := c.jobs[name]; ok && k.phase == jobRunning && k.server == j.server {
+					lower = append(lower, name)
+				}
+			}
+			sort.Strings(lower)
+			for _, name := range lower {
+				c.violatef(InvTierOrdering, e.At, rec,
+					"%s job %q evicted for capacity on server %d while %s job %q keeps running there",
+					p.tier, e.Job, j.server, c.jobPool[name].tier, name)
+			}
+		}
+		p.evictions++
+		if e.Evictions != p.evictions {
+			c.violatef(InvPenaltyAccounting, e.At, rec,
+				"pool %q eviction count %d, want %d", e.Pool, e.Evictions, p.evictions)
+		}
+		budget := p.tier.Params().EvictionBudget
+		wantViolation := budget >= 0 && p.evictions > budget
+		if e.SLAViolation != wantViolation {
+			c.violatef(InvPenaltyAccounting, e.At, rec,
+				"pool %q eviction %d of %s budget %d marked violation=%t, want %t",
+				e.Pool, p.evictions, p.tier, budget, e.SLAViolation, wantViolation)
+		}
+		var wantPenalty float64
+		if wantViolation {
+			p.violations++
+			wantPenalty = p.tier.Params().PenaltyFactor * p.price
+		}
+		if e.Penalty != wantPenalty {
+			c.violatef(InvPenaltyAccounting, e.At, rec,
+				"pool %q eviction charges penalty %v, want %v (%s factor × price %v)",
+				e.Pool, e.Penalty, wantPenalty, p.tier, p.price)
+		}
+		p.penalties += e.Penalty
+	case "exhausted":
+		if p.balance != 0 {
+			c.violatef(InvPoolConservation, e.At, rec,
+				"job %q evicted for pool %q exhaustion with balance %v", e.Job, e.Pool, p.balance)
+		}
+		if e.SLAViolation || e.Penalty != 0 {
+			c.violatef(InvPenaltyAccounting, e.At, rec,
+				"exhausted-balance eviction of job %q charged an SLA penalty (violation=%t, penalty=%v)",
+				e.Job, e.SLAViolation, e.Penalty)
+		}
+		if e.Evictions != p.evictions {
+			c.violatef(InvPenaltyAccounting, e.At, rec,
+				"pool %q exhaustion eviction reports count %d, budget-charged count is %d",
+				e.Pool, e.Evictions, p.evictions)
+		}
+	default:
+		c.violatef(InvPenaltyAccounting, e.At, rec,
+			"pool eviction of job %q with unknown reason %q", e.Job, e.Reason)
+	}
+}
+
+// OnPoolSettle implements obs.Observer: the final totals must match the
+// event stream exactly.
+func (c *JobChecker) OnPoolSettle(e obs.PoolSettle) {
+	c.ring.OnPoolSettle(e)
+	rec := obs.Record{Kind: obs.KindPoolSettle, PoolSettle: e}
+	c.enter(rec, e.At)
+	if !c.bound {
+		return
+	}
+	p, ok := c.pools[e.Pool]
+	if !ok {
+		c.violatef(InvPenaltyAccounting, e.At, rec, "settlement of unknown pool %q", e.Pool)
+		return
+	}
+	if p.settled {
+		c.violatef(InvPenaltyAccounting, e.At, rec, "pool %q settled twice", e.Pool)
+	}
+	if e.Consumed != p.consumed {
+		c.violatef(InvPoolConservation, e.At, rec,
+			"pool %q settles %v consumed, accounted drains total %v", e.Pool, e.Consumed, p.consumed)
+	}
+	if want := p.consumed.Seconds() * p.price; e.Revenue != want {
+		c.violatef(InvPenaltyAccounting, e.At, rec,
+			"pool %q settles revenue %v, %v consumed at price %v gives %v",
+			e.Pool, e.Revenue, p.consumed, p.price, want)
+	}
+	if e.Penalties != p.penalties {
+		c.violatef(InvPenaltyAccounting, e.At, rec,
+			"pool %q settles penalties %v, charged penalties total %v", e.Pool, e.Penalties, p.penalties)
+	}
+	if e.Evictions != p.evictions || e.Violations != p.violations {
+		c.violatef(InvPenaltyAccounting, e.At, rec,
+			"pool %q settles %d evictions / %d violations, tracking gives %d / %d",
+			e.Pool, e.Evictions, e.Violations, p.evictions, p.violations)
+	}
+	p.settled = true
 }
 
 // Non-job events only feed the flight recorder and shared checks.

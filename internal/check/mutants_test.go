@@ -98,6 +98,24 @@ func (r *recorder) OnPlacementRetry(e obs.PlacementRetry) {
 func (r *recorder) OnAdmissionDegraded(e obs.AdmissionDegraded) {
 	r.recs = append(r.recs, obs.Record{Kind: obs.KindAdmissionDegraded, AdmissionDegraded: e})
 }
+func (r *recorder) OnPoolOpen(e obs.PoolOpen) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPoolOpen, PoolOpen: e})
+}
+func (r *recorder) OnPoolReject(e obs.PoolReject) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPoolReject, PoolReject: e})
+}
+func (r *recorder) OnPoolGrant(e obs.PoolGrant) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPoolGrant, PoolGrant: e})
+}
+func (r *recorder) OnPoolAccount(e obs.PoolAccount) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPoolAccount, PoolAccount: e})
+}
+func (r *recorder) OnPoolEvict(e obs.PoolEvict) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPoolEvict, PoolEvict: e})
+}
+func (r *recorder) OnPoolSettle(e obs.PoolSettle) {
+	r.recs = append(r.recs, obs.Record{Kind: obs.KindPoolSettle, PoolSettle: e})
+}
 
 // replay feeds captured records into a checker as if the run were live.
 func replay(c *check.Checker, recs []obs.Record) *check.Report {

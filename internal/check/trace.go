@@ -75,6 +75,24 @@ var traceSchema = map[string]map[string]fieldKind{
 		"job": fStr, "server": fNum, "attempt": fNum, "backoff": fNum,
 	},
 	obs.KindAdmissionDegraded.String(): {"entered": fBool, "faults": fNum, "window": fNum},
+	obs.KindPoolOpen.String(): {
+		"pool": fStr, "tier": fStr, "reserved": fNum, "size": fNum,
+		"price": fNum, "forecast": fNum, "bound": fNum, "committed": fNum,
+	},
+	obs.KindPoolReject.String(): {
+		"pool": fStr, "tier": fStr, "reserved": fNum, "forecast": fNum,
+		"bound": fNum, "committed": fNum,
+	},
+	obs.KindPoolGrant.String():   {"job": fStr, "pool": fStr, "tier": fStr, "balance": fNum},
+	obs.KindPoolAccount.String(): {"pool": fStr, "refill": fNum, "drain": fNum, "balance": fNum},
+	obs.KindPoolEvict.String(): {
+		"job": fStr, "pool": fStr, "tier": fStr, "reason": fStr,
+		"evictions": fNum, "violation": fBool, "penalty": fNum,
+	},
+	obs.KindPoolSettle.String(): {
+		"pool": fStr, "consumed": fNum, "revenue": fNum, "penalties": fNum,
+		"evictions": fNum, "violations": fNum,
+	},
 }
 
 // validClamp is the closed set of clamp-reason strings a window decision

@@ -506,6 +506,27 @@ func (f *Fleet) ForecastCores(i int) int {
 	return n
 }
 
+// TotalHarvestedCores sums HarvestedCores across the fleet — the live
+// harvest supply the capacity market's pool balances refill from.
+// Crashed servers contribute nothing.
+func (f *Fleet) TotalHarvestedCores() int {
+	total := 0
+	for i := range f.servers {
+		total += f.HarvestedCores(i)
+	}
+	return total
+}
+
+// TotalForecastCores sums ForecastCores across the fleet — the forecast
+// supply the market's pool-admission bound is computed against.
+func (f *Fleet) TotalForecastCores() int {
+	total := 0
+	for i := range f.servers {
+		total += f.ForecastCores(i)
+	}
+	return total
+}
+
 // AddJobVM places a batch-job VM with the given vCPU count into server
 // i's elastic group, where it shares harvested cores with (and is
 // scheduled exactly like) the ElasticVM.

@@ -65,6 +65,17 @@ type Config struct {
 	// (fig10's safeguards, fig13's costs, table3/ablation's learner
 	// comparison) keep their explicit configurations.
 	Predictor harness.PredictorKind
+	// Pools, when non-empty, is a harvested-capacity pool plan in the
+	// market.ParsePools grammar. The sched experiment opens it on its
+	// fleet; the market experiment runs it in place of its built-in
+	// overcommit × tier-mix grid. Empty (the default) leaves the sched
+	// experiment market-free and byte-identical to builds without pools.
+	Pools string
+	// TenantMix, when non-empty, names a workload-characterization class
+	// (flat, periodic, bursty, mixed); the sched and market experiments
+	// then sample tenant VMs from that class instead of the default
+	// four-primaries mix. Empty keeps the defaults byte-identical.
+	TenantMix string
 }
 
 // checkedRuns and checkViolations tally invariant-checked scenario runs
@@ -244,6 +255,7 @@ func All() []struct {
 		{"chaos", Chaos},
 		{"fleetchaos", FleetChaos},
 		{"predictors", Predictors},
+		{"market", Market},
 	}
 }
 

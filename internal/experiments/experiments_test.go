@@ -497,3 +497,155 @@ func TestPredictorsDeterminismAcrossParallelism(t *testing.T) {
 			serial, parallel)
 	}
 }
+
+func TestMarketExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep")
+	}
+	cfg := Quick()
+	cfg.Duration = 4_000_000_000 // 27 runs; 4 simulated seconds keeps this test quick
+	cfg.Check = true             // job + pool invariants verified on every run
+	rep, err := Market(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"spot-heavy", "balanced", "premium-heavy",
+		"first-fit", "best-fit", "predicted", "rev-goodput"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("market report missing %q", want)
+		}
+	}
+	// The sweep's core shape: the premium admission bound tightens as
+	// overcommit drops, so the 0.5 grid rows must reject pools the 3.0
+	// rows admit.
+	var rejectedLow, rejectedHigh float64
+	for _, row := range rep.Rows {
+		oc, rej := -1.0, 0.0
+		for _, c := range row.Cells {
+			switch c.Key {
+			case "overcommit":
+				oc = c.Val
+			case "rejected":
+				rej = c.Val
+			}
+		}
+		switch oc {
+		case 0.5:
+			rejectedLow += rej
+		case 3.0:
+			rejectedHigh += rej
+		}
+	}
+	if rejectedLow <= rejectedHigh {
+		t.Errorf("rejections at overcommit 0.5 (%g) not above 3.0 (%g)", rejectedLow, rejectedHigh)
+	}
+}
+
+// TestMarketDeterminismAcrossParallelism pins the market report to be
+// byte-identical whether its 27 runs execute serially or on a 4-way
+// worker pool — the ledger's RNG must stay run-local.
+func TestMarketDeterminismAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Duration = 3_000_000_000 // 3 simulated seconds keeps this test quick
+
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	serial, err := Market(serialCfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallelCfg := cfg
+	parallelCfg.Parallel = 4
+	parallel, err := Market(parallelCfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("market report differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+	again, err := Market(serialCfg)
+	if err != nil {
+		t.Fatalf("repeat: %v", err)
+	}
+	if serial.String() != again.String() {
+		t.Error("same-seed market reports diverged across repeated runs")
+	}
+}
+
+// TestMarketZeroPoolMatchesPlainSched pins the inertness contract at the
+// experiment layer: a cfg.Pools plan that opens no pools (overcommit
+// knob only) must produce exactly the runs a market-free scheduler
+// does — same completions, evictions, and goodput per policy.
+func TestMarketZeroPoolMatchesPlainSched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Duration = 3_000_000_000
+	cfg.Pools = "overcommit=2" // a plan with no pools: the market stays inert
+	rep, err := Market(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []sched.Policy{sched.FirstFit, sched.BestFit, sched.Predicted} {
+		plain, err := sched.Run(sched.Config{
+			Fleet:       schedFleet(cfg, nil),
+			Policy:      pol,
+			ArrivalRate: marketJobRate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, row := range rep.Rows {
+			cells := map[string]Cell{}
+			for _, c := range row.Cells {
+				cells[c.Key] = c
+			}
+			if cells["policy"].Str != pol.String() {
+				continue
+			}
+			found = true
+			if g := cells["goodput_core_s"].Val; g != plain.GoodputCoreSec {
+				t.Errorf("%s: zero-pool market goodput %g, plain sched %g", pol, g, plain.GoodputCoreSec)
+			}
+			if adm := cells["admitted"].Val; adm != 0 {
+				t.Errorf("%s: %g pools admitted from a pool-less plan", pol, adm)
+			}
+		}
+		if !found {
+			t.Errorf("no market row for policy %s", pol)
+		}
+	}
+}
+
+func TestSchedTenantMixAndPools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	cfg := Quick()
+	cfg.Duration = 3_000_000_000
+	cfg.TenantMix = "bursty"
+	cfg.Pools = "name=a,tier=spot,reserved=4"
+	cfg.Check = true
+	rep, err := Sched(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "pool plan") {
+		t.Error("sched report missing the pool-plan totals line")
+	}
+	cfg.TenantMix = "diurnal-ish" // not a class
+	if _, err := Sched(cfg); err == nil {
+		t.Error("unknown tenant mix accepted")
+	}
+	cfg.TenantMix = ""
+	cfg.Pools = "name=,tier=spot"
+	if _, err := Sched(cfg); err == nil {
+		t.Error("garbage pool plan accepted")
+	}
+}

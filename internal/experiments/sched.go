@@ -7,7 +7,7 @@ import (
 	"sync"
 
 	"smartharvest/internal/check"
-	"smartharvest/internal/cluster"
+	"smartharvest/internal/market"
 	"smartharvest/internal/sched"
 )
 
@@ -18,9 +18,22 @@ import (
 // separate — under light load any placement works; under pressure the
 // predicted policy's use of each agent's live forecast should cut
 // evictions and improve SLO attainment. Runs honor cfg.Check (job
-// invariants via check.JobChecker) and cfg.Faults (injected into every
-// server, composing the schedulers with degraded agents).
+// invariants via check.JobChecker), cfg.Faults (injected into every
+// server, composing the schedulers with degraded agents), cfg.TenantMix
+// (characterized tenant workloads), and cfg.Pools (a harvested-capacity
+// pool plan opened on every run's fleet; jobs then place against pool
+// balances and the report gains the market totals).
 func Sched(cfg Config) (*Report, error) {
+	workloads, err := tenantWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var mcfg market.Config
+	if cfg.Pools != "" {
+		if mcfg, err = market.ParsePools(cfg.Pools); err != nil {
+			return nil, fmt.Errorf("experiments: sched pools: %w", err)
+		}
+	}
 	rates := []float64{1, 3}
 	policies := []sched.Policy{sched.FirstFit, sched.BestFit, sched.Predicted}
 	type spec struct {
@@ -58,17 +71,10 @@ func Sched(cfg Config) (*Report, error) {
 					checker = check.NewJobChecker()
 				}
 				results[i], errs[i] = sched.Run(sched.Config{
-					Fleet: cluster.Config{
-						Servers:      4,
-						ArrivalRate:  1.2,
-						MeanLifetime: cfg.Duration / 2,
-						Duration:     cfg.Duration,
-						Warmup:       cfg.Warmup,
-						Seed:         cfg.Seed,
-						Faults:       cfg.Faults,
-					},
+					Fleet:       schedFleet(cfg, workloads),
 					Policy:      specs[i].pol,
 					ArrivalRate: specs[i].rate,
+					Market:      mcfg,
 					Checker:     checker,
 				})
 			}
@@ -119,6 +125,16 @@ func Sched(cfg Config) (*Report, error) {
 	}
 	if cfg.Faults.Enabled() {
 		r.addf("faults injected across runs: %d", faults)
+	}
+	if mcfg.Enabled() {
+		var revenue, penalties float64
+		for _, res := range results {
+			if res != nil && res.Market != nil {
+				revenue += res.Market.Revenue
+				penalties += res.Market.Penalties
+			}
+		}
+		r.addf("pool plan %q across runs: revenue %.1f, penalties %.1f", mcfg, revenue, penalties)
 	}
 	r.addf("(goodput counts completed work only; evicted progress is checkpointed, never double-counted)")
 	if len(allErrs) > 0 {

@@ -14,6 +14,7 @@ import (
 	"smartharvest/internal/core"
 	"smartharvest/internal/faults"
 	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/market"
 	"smartharvest/internal/metrics"
 	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
@@ -170,6 +171,11 @@ type Scenario struct {
 	// internal/faults). The zero Plan is disabled and draws nothing from
 	// the scenario RNG, so fault-free runs stay byte-identical.
 	Faults faults.Plan
+	// Pools is a harvested-capacity pool plan (see internal/market).
+	// Pools are an economy over a fleet's shared harvest; a single-server
+	// scenario has no fleet scheduler to run them, so any non-zero plan
+	// is rejected up front rather than silently ignored.
+	Pools market.Config
 	// Resilience overrides the agent's fault-response policy; nil keeps
 	// core.DefaultResilience.
 	Resilience *core.ResiliencePolicy
@@ -531,6 +537,11 @@ func Run(s Scenario, opts ...ScenarioOption) (*Result, error) {
 	// mistyped plan from silently injecting nothing.
 	if s.Faults.FleetEnabled() {
 		return nil, fmt.Errorf("harness: scenario %q: fleet-level fault plan %q requires a multi-server fleet (internal/cluster); single-server scenarios accept agent-level keys only", s.Name, s.Faults)
+	}
+	// Pool plans are likewise fleet-scoped: balances refill from the
+	// fleet harvest and admission is bounded by the fleet forecast.
+	if s.Pools.Enabled() {
+		return nil, fmt.Errorf("harness: scenario %q: pool plan %q requires a multi-server fleet (internal/market rides on internal/sched); single-server scenarios take no -pools", s.Name, s.Pools)
 	}
 	var injector *faults.Injector
 	if s.Faults.AgentEnabled() {

@@ -390,3 +390,80 @@ func (j *JSONL) OnAdmissionDegraded(e AdmissionDegraded) {
 	j.intField("window", int64(e.Window))
 	j.end()
 }
+
+func (j *JSONL) OnPoolOpen(e PoolOpen) {
+	if !j.begin(KindPoolOpen, int64(e.At)) {
+		return
+	}
+	j.strField("pool", e.Pool)
+	j.strField("tier", e.Tier)
+	j.intField("reserved", int64(e.Reserved))
+	j.intField("size", int64(e.Size))
+	j.floatField("price", e.Price)
+	j.intField("forecast", int64(e.Forecast))
+	j.floatField("bound", e.Bound)
+	j.intField("committed", int64(e.Committed))
+	j.end()
+}
+
+func (j *JSONL) OnPoolReject(e PoolReject) {
+	if !j.begin(KindPoolReject, int64(e.At)) {
+		return
+	}
+	j.strField("pool", e.Pool)
+	j.strField("tier", e.Tier)
+	j.intField("reserved", int64(e.Reserved))
+	j.intField("forecast", int64(e.Forecast))
+	j.floatField("bound", e.Bound)
+	j.intField("committed", int64(e.Committed))
+	j.end()
+}
+
+func (j *JSONL) OnPoolGrant(e PoolGrant) {
+	if !j.begin(KindPoolGrant, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.strField("pool", e.Pool)
+	j.strField("tier", e.Tier)
+	j.intField("balance", int64(e.Balance))
+	j.end()
+}
+
+func (j *JSONL) OnPoolAccount(e PoolAccount) {
+	if !j.begin(KindPoolAccount, int64(e.At)) {
+		return
+	}
+	j.strField("pool", e.Pool)
+	j.intField("refill", int64(e.Refill))
+	j.intField("drain", int64(e.Drain))
+	j.intField("balance", int64(e.Balance))
+	j.end()
+}
+
+func (j *JSONL) OnPoolEvict(e PoolEvict) {
+	if !j.begin(KindPoolEvict, int64(e.At)) {
+		return
+	}
+	j.strField("job", e.Job)
+	j.strField("pool", e.Pool)
+	j.strField("tier", e.Tier)
+	j.strField("reason", e.Reason)
+	j.intField("evictions", int64(e.Evictions))
+	j.boolField("violation", e.SLAViolation)
+	j.floatField("penalty", e.Penalty)
+	j.end()
+}
+
+func (j *JSONL) OnPoolSettle(e PoolSettle) {
+	if !j.begin(KindPoolSettle, int64(e.At)) {
+		return
+	}
+	j.strField("pool", e.Pool)
+	j.intField("consumed", int64(e.Consumed))
+	j.floatField("revenue", e.Revenue)
+	j.floatField("penalties", e.Penalties)
+	j.intField("evictions", int64(e.Evictions))
+	j.intField("violations", int64(e.Violations))
+	j.end()
+}

@@ -54,6 +54,17 @@ type Metrics struct {
 	AdmissionDegraded  uint64 // entered events
 	AdmissionRecovered uint64 // exited events
 
+	// Capacity-market counters (zero outside market runs).
+	PoolOpens      uint64
+	PoolRejects    uint64
+	PoolGrants     uint64
+	PoolAccounts   uint64
+	PoolEvictions  uint64 // PoolEvict events of either reason
+	PoolViolations uint64 // SLA-violating capacity evictions
+	PoolSettles    uint64
+	PoolRevenue    float64 // summed over PoolSettle events
+	PoolPenalties  float64
+
 	// Per-window statistics.
 	WindowPeak   metrics.Welford // observed peak busy cores per window
 	WindowTarget metrics.Welford // applied primary-core target per window
@@ -135,6 +146,24 @@ func (m *Metrics) OnAdmissionDegraded(e AdmissionDegraded) {
 	}
 }
 
+func (m *Metrics) OnPoolOpen(PoolOpen)       { m.PoolOpens++ }
+func (m *Metrics) OnPoolReject(PoolReject)   { m.PoolRejects++ }
+func (m *Metrics) OnPoolGrant(PoolGrant)     { m.PoolGrants++ }
+func (m *Metrics) OnPoolAccount(PoolAccount) { m.PoolAccounts++ }
+
+func (m *Metrics) OnPoolEvict(e PoolEvict) {
+	m.PoolEvictions++
+	if e.SLAViolation {
+		m.PoolViolations++
+	}
+}
+
+func (m *Metrics) OnPoolSettle(e PoolSettle) {
+	m.PoolSettles++
+	m.PoolRevenue += e.Revenue
+	m.PoolPenalties += e.Penalties
+}
+
 // OnPredictorInfo implements Observer. The predictor identity is a
 // run-level fact, not a counter; Metrics records the name for display.
 func (m *Metrics) OnPredictorInfo(e PredictorInfo) { m.Predictor = e.Name }
@@ -164,6 +193,11 @@ func (m *Metrics) String() string {
 	if m.JobSubmits > 0 {
 		fmt.Fprintf(&b, "\njobs submitted=%d started=%d completed=%d evictions=%d requeues=%d slo-misses=%d",
 			m.JobSubmits, m.JobStarts, m.JobCompletions, m.JobEvictions, m.JobRequeues, m.SLOMisses)
+	}
+	if m.PoolOpens > 0 || m.PoolRejects > 0 {
+		fmt.Fprintf(&b, "\npools opened=%d rejected=%d grants=%d evictions=%d (violations %d) revenue=%.2f penalties=%.2f",
+			m.PoolOpens, m.PoolRejects, m.PoolGrants, m.PoolEvictions,
+			m.PoolViolations, m.PoolRevenue, m.PoolPenalties)
 	}
 	if m.ServerCrashes > 0 || m.ServerQuarantines > 0 || m.PlacementRetries > 0 {
 		fmt.Fprintf(&b, "\nserver crashes=%d restarts=%d quarantines=%d probations=%d placement retries=%d admission degraded=%d (recovered %d)",

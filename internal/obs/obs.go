@@ -423,6 +423,103 @@ type PredictorInfo struct {
 	Classes int
 }
 
+// PoolOpen fires when the harvested-capacity market admits a pool:
+// its reserved cores fit under the tier's overcommit bound at the
+// fleet-wide forecast observed at open time (see internal/market).
+type PoolOpen struct {
+	At   sim.Time
+	Pool string
+	// Tier is the pool's eviction-SLA tier name ("spot", "standard",
+	// "premium").
+	Tier string
+	// Reserved is the pool's harvested-core reservation.
+	Reserved int
+	// Size is the pool's balance capacity in core-time.
+	Size sim.Time
+	// Price is the pool's revenue per core-second consumed.
+	Price float64
+	// Forecast is the fleet-wide forecast (sum of per-server
+	// ForecastCores) the admission bound was computed from.
+	Forecast int
+	// Bound is the tier's reserved-core admission bound at Forecast.
+	Bound float64
+	// Committed is the tier's admitted reserved-core total including
+	// this pool.
+	Committed int
+}
+
+// PoolReject fires when the market refuses a pool because admitting it
+// would push the tier's committed reservations past the overcommit
+// bound.
+type PoolReject struct {
+	At       sim.Time
+	Pool     string
+	Tier     string
+	Reserved int
+	Forecast int
+	Bound    float64
+	// Committed is the tier's admitted reserved-core total excluding
+	// the rejected pool.
+	Committed int
+}
+
+// PoolGrant fires right after a JobStart when the market is active,
+// binding the placed job to the pool whose balance funded it.
+type PoolGrant struct {
+	At   sim.Time
+	Job  string
+	Pool string
+	Tier string
+	// Balance is the pool's remaining core-time at grant; placements
+	// are only legal against a positive balance.
+	Balance sim.Time
+}
+
+// PoolAccount fires once per pool per reconcile tick in which the
+// pool's balance moved: Balance = previous balance + Refill - Drain.
+type PoolAccount struct {
+	At   sim.Time
+	Pool string
+	// Refill is the core-time added from the fleet harvest this tick,
+	// already capped at the pool's size.
+	Refill sim.Time
+	// Drain is the core-time consumed by member jobs this tick.
+	Drain sim.Time
+	// Balance is the pool's core-time after the tick.
+	Balance sim.Time
+}
+
+// PoolEvict fires immediately before the JobEvict of a market-member
+// job: Reason "capacity" is a harvest-collapse preemption charged
+// against the pool's tier budget (SLAViolation and Penalty accrue past
+// it); Reason "exhausted" is the pool's own balance running dry —
+// customer exposure, never an SLA event.
+type PoolEvict struct {
+	At     sim.Time
+	Job    string
+	Pool   string
+	Tier   string
+	Reason string
+	// Evictions is the pool's budget-charged eviction count including
+	// this event for "capacity" (unchanged for "exhausted").
+	Evictions    int
+	SLAViolation bool
+	Penalty      float64
+}
+
+// PoolSettle fires once per admitted pool at run end with the final
+// accounting: Revenue = Consumed core-seconds × price, and the
+// eviction/violation tallies the SLA report is built from.
+type PoolSettle struct {
+	At         sim.Time
+	Pool       string
+	Consumed   sim.Time
+	Revenue    float64
+	Penalties  float64
+	Evictions  int
+	Violations int
+}
+
 // Observer receives the event stream. All methods are invoked
 // synchronously on the simulation goroutine; implementations must not
 // retain argument memory beyond the call (events are passed by value, so
@@ -455,6 +552,12 @@ type Observer interface {
 	OnPlacementRetry(PlacementRetry)
 	OnAdmissionDegraded(AdmissionDegraded)
 	OnPredictorInfo(PredictorInfo)
+	OnPoolOpen(PoolOpen)
+	OnPoolReject(PoolReject)
+	OnPoolGrant(PoolGrant)
+	OnPoolAccount(PoolAccount)
+	OnPoolEvict(PoolEvict)
+	OnPoolSettle(PoolSettle)
 }
 
 // NopObserver implements Observer with no-ops; embed it to build partial
@@ -486,6 +589,12 @@ func (NopObserver) OnServerProbation(ServerProbation)     {}
 func (NopObserver) OnPlacementRetry(PlacementRetry)       {}
 func (NopObserver) OnAdmissionDegraded(AdmissionDegraded) {}
 func (NopObserver) OnPredictorInfo(PredictorInfo)         {}
+func (NopObserver) OnPoolOpen(PoolOpen)                   {}
+func (NopObserver) OnPoolReject(PoolReject)               {}
+func (NopObserver) OnPoolGrant(PoolGrant)                 {}
+func (NopObserver) OnPoolAccount(PoolAccount)             {}
+func (NopObserver) OnPoolEvict(PoolEvict)                 {}
+func (NopObserver) OnPoolSettle(PoolSettle)               {}
 
 // multi fans events out to several observers in order.
 type multi struct{ obs []Observer }
@@ -632,5 +741,35 @@ func (m *multi) OnAdmissionDegraded(e AdmissionDegraded) {
 func (m *multi) OnPredictorInfo(e PredictorInfo) {
 	for _, o := range m.obs {
 		o.OnPredictorInfo(e)
+	}
+}
+func (m *multi) OnPoolOpen(e PoolOpen) {
+	for _, o := range m.obs {
+		o.OnPoolOpen(e)
+	}
+}
+func (m *multi) OnPoolReject(e PoolReject) {
+	for _, o := range m.obs {
+		o.OnPoolReject(e)
+	}
+}
+func (m *multi) OnPoolGrant(e PoolGrant) {
+	for _, o := range m.obs {
+		o.OnPoolGrant(e)
+	}
+}
+func (m *multi) OnPoolAccount(e PoolAccount) {
+	for _, o := range m.obs {
+		o.OnPoolAccount(e)
+	}
+}
+func (m *multi) OnPoolEvict(e PoolEvict) {
+	for _, o := range m.obs {
+		o.OnPoolEvict(e)
+	}
+}
+func (m *multi) OnPoolSettle(e PoolSettle) {
+	for _, o := range m.obs {
+		o.OnPoolSettle(e)
 	}
 }

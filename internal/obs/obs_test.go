@@ -60,7 +60,22 @@ func feedAll(o Observer) int {
 		Attempt: 2, Backoff: 4 * sim.Millisecond})
 	o.OnAdmissionDegraded(AdmissionDegraded{At: 24 * sim.Second, Entered: true,
 		Faults: 9, Window: 250 * sim.Millisecond})
-	return 25
+	o.OnPoolOpen(PoolOpen{At: 25 * sim.Second, Pool: "acme", Tier: "standard",
+		Reserved: 4, Size: 40 * sim.Second, Price: 0.5, Forecast: 8, Bound: 12,
+		Committed: 4})
+	o.OnPoolReject(PoolReject{At: 25 * sim.Second, Pool: "big", Tier: "premium",
+		Reserved: 9, Forecast: 8, Bound: 6, Committed: 0})
+	o.OnPoolGrant(PoolGrant{At: 26 * sim.Second, Job: "job-0", Pool: "acme",
+		Tier: "standard", Balance: 30 * sim.Second})
+	o.OnPoolAccount(PoolAccount{At: 27 * sim.Second, Pool: "acme",
+		Refill: 2 * sim.Second, Drain: sim.Second, Balance: 31 * sim.Second})
+	o.OnPoolEvict(PoolEvict{At: 28 * sim.Second, Job: "job-0", Pool: "acme",
+		Tier: "standard", Reason: "capacity", Evictions: 4, SLAViolation: true,
+		Penalty: 1})
+	o.OnPoolSettle(PoolSettle{At: 29 * sim.Second, Pool: "acme",
+		Consumed: 9 * sim.Second, Revenue: 4.5, Penalties: 1, Evictions: 4,
+		Violations: 1})
+	return 31
 }
 
 func TestRingKeepsMostRecent(t *testing.T) {
@@ -147,6 +162,12 @@ func TestJSONLSchema(t *testing.T) {
 		`{"v":1,"ev":"server-probation","t":22200000000,"server":2,"until":22600000000}`,
 		`{"v":1,"ev":"placement-retry","t":23000000000,"job":"job-0","server":1,"attempt":2,"backoff":4000000}`,
 		`{"v":1,"ev":"admission-degraded","t":24000000000,"entered":true,"faults":9,"window":250000000}`,
+		`{"v":1,"ev":"pool-open","t":25000000000,"pool":"acme","tier":"standard","reserved":4,"size":40000000000,"price":0.5,"forecast":8,"bound":12,"committed":4}`,
+		`{"v":1,"ev":"pool-reject","t":25000000000,"pool":"big","tier":"premium","reserved":9,"forecast":8,"bound":6,"committed":0}`,
+		`{"v":1,"ev":"pool-grant","t":26000000000,"job":"job-0","pool":"acme","tier":"standard","balance":30000000000}`,
+		`{"v":1,"ev":"pool-account","t":27000000000,"pool":"acme","refill":2000000000,"drain":1000000000,"balance":31000000000}`,
+		`{"v":1,"ev":"pool-evict","t":28000000000,"job":"job-0","pool":"acme","tier":"standard","reason":"capacity","evictions":4,"violation":true,"penalty":1}`,
+		`{"v":1,"ev":"pool-settle","t":29000000000,"pool":"acme","consumed":9000000000,"revenue":4.5,"penalties":1,"evictions":4,"violations":1}`,
 	}, "\n") + "\n"
 	if got := buf.String(); got != want {
 		t.Errorf("trace lines changed (schema drift — bump SchemaVersion):\ngot:\n%swant:\n%s", got, want)
@@ -163,8 +184,8 @@ func TestJSONLOmitPolls(t *testing.T) {
 	if strings.Contains(buf.String(), `"ev":"poll"`) {
 		t.Error("poll line present despite JSONLOmitPolls")
 	}
-	if n := strings.Count(buf.String(), "\n"); n != 24 {
-		t.Errorf("got %d lines, want 24", n)
+	if n := strings.Count(buf.String(), "\n"); n != 30 {
+		t.Errorf("got %d lines, want 30", n)
 	}
 }
 
@@ -217,6 +238,11 @@ func TestMetricsAggregates(t *testing.T) {
 	}
 	if !m.BatchFinished {
 		t.Error("BatchFinished not set")
+	}
+	if m.PoolOpens != 1 || m.PoolRejects != 1 || m.PoolGrants != 1 ||
+		m.PoolAccounts != 1 || m.PoolEvictions != 1 || m.PoolViolations != 1 ||
+		m.PoolSettles != 1 || m.PoolRevenue != 4.5 || m.PoolPenalties != 1 {
+		t.Errorf("pool counters wrong: %+v", m)
 	}
 	if m.Grows != 1 || m.Shrinks != 0 {
 		t.Errorf("resize 10->4 should count as one grow, got grows=%d shrinks=%d", m.Grows, m.Shrinks)

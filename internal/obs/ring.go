@@ -29,6 +29,12 @@ const (
 	KindServerProbation
 	KindPlacementRetry
 	KindAdmissionDegraded
+	KindPoolOpen
+	KindPoolReject
+	KindPoolGrant
+	KindPoolAccount
+	KindPoolEvict
+	KindPoolSettle
 
 	numKinds
 )
@@ -41,6 +47,8 @@ var kindNames = [numKinds]string{
 	"job-complete", "job-slo-miss", "predictor",
 	"server-crash", "server-restart", "server-quarantine",
 	"server-probation", "placement-retry", "admission-degraded",
+	"pool-open", "pool-reject", "pool-grant", "pool-account",
+	"pool-evict", "pool-settle",
 }
 
 func (k Kind) String() string {
@@ -81,6 +89,13 @@ type Record struct {
 	ServerProbation   ServerProbation
 	PlacementRetry    PlacementRetry
 	AdmissionDegraded AdmissionDegraded
+
+	PoolOpen    PoolOpen
+	PoolReject  PoolReject
+	PoolGrant   PoolGrant
+	PoolAccount PoolAccount
+	PoolEvict   PoolEvict
+	PoolSettle  PoolSettle
 }
 
 // Ring is the in-memory flight-recorder sink: it keeps the most recent
@@ -186,3 +201,10 @@ func (r *Ring) OnPlacementRetry(e PlacementRetry)   { r.add(KindPlacementRetry).
 func (r *Ring) OnAdmissionDegraded(e AdmissionDegraded) {
 	r.add(KindAdmissionDegraded).AdmissionDegraded = e
 }
+
+func (r *Ring) OnPoolOpen(e PoolOpen)       { r.add(KindPoolOpen).PoolOpen = e }
+func (r *Ring) OnPoolReject(e PoolReject)   { r.add(KindPoolReject).PoolReject = e }
+func (r *Ring) OnPoolGrant(e PoolGrant)     { r.add(KindPoolGrant).PoolGrant = e }
+func (r *Ring) OnPoolAccount(e PoolAccount) { r.add(KindPoolAccount).PoolAccount = e }
+func (r *Ring) OnPoolEvict(e PoolEvict)     { r.add(KindPoolEvict).PoolEvict = e }
+func (r *Ring) OnPoolSettle(e PoolSettle)   { r.add(KindPoolSettle).PoolSettle = e }

@@ -29,16 +29,28 @@
 // to conservative first-fit until the storm subsides. All of it is inert
 // on fault-free runs: no extra events, no extra randomness, byte-for-byte
 // identical traces.
+//
+// When Config.Market opens capacity pools (internal/market), every job
+// is assigned a pool and admitted only while that pool's balance holds
+// core-time: balances refill from the live fleet harvest each reconcile
+// tick and drain as running members consume their grants. Harvest
+// collapses then evict in ascending SLA-tier order — spot members
+// absorb the preemptions before standard, premium last — with the
+// ledger charging eviction budgets and SLA penalties. A zero Market
+// config constructs no ledger, draws no randomness, and emits no
+// events, so no-pool runs stay byte-identical too.
 package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"smartharvest/internal/apps"
 	"smartharvest/internal/check"
 	"smartharvest/internal/cluster"
 	"smartharvest/internal/faults"
 	"smartharvest/internal/hypervisor"
+	"smartharvest/internal/market"
 	"smartharvest/internal/metrics"
 	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
@@ -113,6 +125,12 @@ type Config struct {
 	// Checker, when set, verifies the job event stream online; Bind is
 	// called automatically and the report lands in Result.Check.
 	Checker *check.JobChecker
+	// Market opens capacity pools over the harvested fleet
+	// (internal/market): jobs are assigned a pool and placed only while
+	// its balance holds core-time, and harvest collapses evict in
+	// ascending SLA-tier order. The zero value is fully inert — no
+	// ledger, no extra randomness, no extra events.
+	Market market.Config
 
 	// Resilience knobs. They engage only when Fleet.Faults enables fleet
 	// faults (server crashes or control-plane faults); without those the
@@ -261,6 +279,9 @@ type Result struct {
 	// Check is the job-invariant verification report (nil when no
 	// Checker was attached).
 	Check *check.Report
+	// Market is the capacity-market settlement (nil when Config.Market
+	// opened no pools).
+	Market *market.Result
 }
 
 // SLOAttainment returns the fraction of decided SLO jobs that met their
@@ -297,6 +318,7 @@ type job struct {
 	grant  int
 	vm     *hypervisor.VM
 	app    *apps.FiniteWork
+	pool   *market.Pool // nil until assigned (and always, without a market)
 
 	doneAt    sim.Time
 	sloMissed bool
@@ -315,6 +337,10 @@ type scheduler struct {
 	running   [][]*job // per server, placement order
 	committed []int    // per server, cores granted to running jobs
 	all       []*job
+
+	// ledger is the capacity-market runtime, nil unless Config.Market
+	// opened pools — the nil path is byte-identical to pre-market runs.
+	ledger *market.Ledger
 
 	// Resilience state, allocated only when the fleet has a fault
 	// injector; nil slices keep the fault-free path byte-identical.
@@ -384,6 +410,7 @@ func Run(cfg Config) (*Result, error) {
 			ProbationDur:        cfg.ProbationDur,
 			DegradeEnter:        cfg.DegradeEnter,
 			DegradeExit:         cfg.DegradeExit,
+			Market:              cfg.Market,
 		}); err != nil {
 			return nil, err
 		}
@@ -409,6 +436,31 @@ func Run(cfg Config) (*Result, error) {
 		seed = 1
 	}
 	jrng := simrng.New(seed + 0x9E3779B97F4A7C15)
+
+	// Capacity market: pool-open requests land at or after warmup (spec
+	// order breaks ties), before the same instant's reconcile tick, so
+	// admitted pools see their first refill immediately. The ledger's
+	// RNG stream is derived from the seed alone — enabling pools shifts
+	// no tenant, job, or fault schedule.
+	if cfg.Market.Enabled() {
+		lg, err := market.NewLedger(cfg.Market, seed, s.loop.Now, cfg.Fleet.Observer)
+		if err != nil {
+			return nil, err
+		}
+		s.ledger = lg
+		for i, spec := range lg.Specs() {
+			at := spec.At
+			if at < fleet.Warmup() {
+				at = fleet.Warmup()
+			}
+			i := i
+			s.loop.At(at, func() {
+				s.ledger.TryOpen(i, s.fleet.TotalForecastCores())
+				s.tryPlace()
+			})
+		}
+	}
+
 	if cfg.ArrivalRate > 0 {
 		var next func()
 		next = func() {
@@ -515,20 +567,58 @@ func (s *scheduler) pick() int {
 	return -1
 }
 
-// tryPlace starts pending jobs while the policy finds room (FIFO).
-// Degraded admission throttles to one placement per round.
+// admissible reports whether j may be placed right now. Without a
+// market it always is; with one, the job needs a pool (assigned on
+// first demand — the weighted draw happens only once pools are open,
+// so pre-market arrival order never shifts the stream) whose balance
+// still holds core-time.
+func (s *scheduler) admissible(j *job) bool {
+	if s.ledger == nil {
+		return true
+	}
+	if j.pool == nil {
+		j.pool = s.ledger.AssignPool()
+	}
+	return j.pool != nil && j.pool.Balance > 0
+}
+
+// nextPlaceable returns the queue index of the first pending job whose
+// pool can admit it (the head, without a market), or -1. Jobs of
+// exhausted pools wait in line without blocking funded ones.
+func (s *scheduler) nextPlaceable() int {
+	if s.ledger == nil {
+		if len(s.pending) == 0 {
+			return -1
+		}
+		return 0
+	}
+	for qi, j := range s.pending {
+		if s.admissible(j) {
+			return qi
+		}
+	}
+	return -1
+}
+
+// tryPlace starts pending jobs while the policy finds room (FIFO among
+// admissible jobs). Degraded admission throttles to one placement per
+// round.
 func (s *scheduler) tryPlace() {
 	placed := 0
-	for len(s.pending) > 0 {
+	for {
 		if s.degraded && placed >= 1 {
+			return
+		}
+		qi := s.nextPlaceable()
+		if qi < 0 {
 			return
 		}
 		target := s.pick()
 		if target < 0 {
 			return
 		}
-		j := s.pending[0]
-		s.pending = s.pending[1:]
+		j := s.pending[qi]
+		s.pending = append(s.pending[:qi], s.pending[qi+1:]...)
 		if s.beginPlace(j, target, 1) {
 			placed++
 		}
@@ -582,6 +672,11 @@ func (s *scheduler) retryPlace(j *job, attempt int) {
 	if j.state != statePending {
 		return
 	}
+	if !s.admissible(j) {
+		// The pool drained while the retry backoff ran; rejoin the queue.
+		s.pending = append(s.pending, j)
+		return
+	}
 	target := s.pick()
 	if target < 0 {
 		s.pending = append(s.pending, j)
@@ -593,7 +688,7 @@ func (s *scheduler) retryPlace(j *job, attempt int) {
 // delayedStart lands a delayed grant: the capacity and the server's
 // health must be re-validated, since both may have changed in flight.
 func (s *scheduler) delayedStart(j *job, target int) {
-	if s.fleet.Crashed(target) || s.avoid(target) || s.free(target) < 1 {
+	if s.fleet.Crashed(target) || s.avoid(target) || s.free(target) < 1 || !s.admissible(j) {
 		s.pending = append(s.pending, j)
 		return
 	}
@@ -615,6 +710,9 @@ func (s *scheduler) start(j *job, server int) {
 			At: now, Job: j.name, Server: server, Grant: grant,
 			Harvest: harvest, Attempt: j.evictions + 1, Remaining: j.remaining(),
 		})
+	}
+	if s.ledger != nil && j.pool != nil {
+		s.ledger.Grant(j.pool, j.name)
 	}
 	s.committed[server] += grant
 	vm := s.fleet.AddJobVM(server, fmt.Sprintf("%s-a%d", j.name, j.evictions+1), grant)
@@ -691,6 +789,9 @@ func (s *scheduler) readHarvest(i int) (int, bool) {
 // now fits.
 func (s *scheduler) reconcile() {
 	now := s.loop.Now()
+	if s.ledger != nil {
+		s.marketTick()
+	}
 	for i := range s.running {
 		if s.fleet.Crashed(i) {
 			// Crash handling already orphaned this server's jobs; there
@@ -717,11 +818,17 @@ func (s *scheduler) reconcile() {
 			}
 		}
 		// Evict newest-first: the most recently placed jobs have the
-		// least progress to protect.
+		// least progress to protect. With a market, the SLA tier comes
+		// first — spot members absorb the collapse before standard,
+		// premium last — and the ledger charges the eviction before the
+		// job-level event lands.
 		for s.committed[i] > h {
-			victim := s.newestVictim(i)
+			victim := s.victim(i)
 			if victim == nil {
 				break
+			}
+			if s.ledger != nil && victim.pool != nil {
+				s.ledger.CapacityEvict(victim.pool, victim.name)
 			}
 			s.evict(victim)
 		}
@@ -849,13 +956,26 @@ func (s *scheduler) onCrash(server int) {
 	now := s.loop.Now()
 	s.res.Crashes++
 	s.noteFault(now)
-	for _, j := range append([]*job(nil), s.running[server]...) {
+	orphans := append([]*job(nil), s.running[server]...)
+	if s.ledger != nil {
+		// A crash takes every member down; charging the ledger in
+		// ascending tier order keeps the SLA contract observable — no
+		// premium eviction lands while a spot member still counts as
+		// running.
+		sort.SliceStable(orphans, func(a, b int) bool {
+			return orphans[a].pool.Spec.Tier < orphans[b].pool.Spec.Tier
+		})
+	}
+	for _, j := range orphans {
 		if j.app.Done() {
 			// Work finished before the crash; the deferred completion
 			// fires at this same instant and settles the job.
 			continue
 		}
 		s.res.Orphaned++
+		if s.ledger != nil && j.pool != nil {
+			s.ledger.CapacityEvict(j.pool, j.name)
+		}
 		s.evict(j)
 	}
 	if s.lastHarvest != nil {
@@ -874,6 +994,58 @@ func (s *scheduler) onRestart(server int) {
 		return // an active quarantine window already covers it
 	}
 	s.quarantine(server, now, true)
+}
+
+// marketTick runs one reconcile tick of pool accounting: refill from
+// the live fleet harvest in reservation proportion, drain each running
+// member's grant for the tick (pools bill in whole reconcile periods),
+// flush the per-pool account events, then evict members whose pool ran
+// dry — the customer's balance is the platform's admission limit, so
+// an exhausted-pool eviction charges no SLA budget.
+func (s *scheduler) marketTick() {
+	dt := s.cfg.ReconcileEvery
+	s.ledger.Refill(s.fleet.TotalHarvestedCores(), dt)
+	var exhausted []*job
+	for i := range s.running {
+		for _, j := range s.running[i] {
+			if j.app.Done() || j.pool == nil {
+				continue
+			}
+			want := sim.Time(j.grant) * dt
+			if got := s.ledger.Drain(j.pool, want); got < want {
+				exhausted = append(exhausted, j)
+			}
+		}
+	}
+	s.ledger.FlushAccounting()
+	for _, j := range exhausted {
+		if j.state != stateRunning || j.app.Done() {
+			continue
+		}
+		s.ledger.ExhaustedEvict(j.pool, j.name)
+		s.evict(j)
+	}
+}
+
+// victim returns server i's next capacity-eviction victim: without a
+// market, the most recent placement; with one, the lowest-SLA-tier
+// member first, newest placement within the tier.
+func (s *scheduler) victim(i int) *job {
+	if s.ledger == nil {
+		return s.newestVictim(i)
+	}
+	rs := s.running[i]
+	var best *job
+	for k := len(rs) - 1; k >= 0; k-- {
+		j := rs[k]
+		if j.app.Done() || j.pool == nil {
+			continue
+		}
+		if best == nil || j.pool.Spec.Tier < best.pool.Spec.Tier {
+			best = j
+		}
+	}
+	return best
 }
 
 // newestVictim returns server i's most recently placed evictable job
@@ -962,5 +1134,16 @@ func (s *scheduler) finalize() {
 	if len(elapsed) > 0 {
 		s.res.CompletionP50 = sim.Time(metrics.ExactQuantile(elapsed, 0.50))
 		s.res.CompletionP99 = sim.Time(metrics.ExactQuantile(elapsed, 0.99))
+	}
+	if s.ledger != nil {
+		s.ledger.Settle()
+		s.res.Market = s.ledger.Result()
+		// Revenue-weighted goodput: completed core-seconds priced at the
+		// job's pool rate. Like GoodputCoreSec, only finished jobs count.
+		for _, j := range s.all {
+			if j.state == stateDone && j.pool != nil {
+				s.res.Market.RevenueGoodput += j.spec.Work.Seconds() * j.pool.Spec.Price
+			}
+		}
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"smartharvest/internal/harness"
 	"smartharvest/internal/hypervisor"
 	"smartharvest/internal/learner"
+	"smartharvest/internal/market"
 	"smartharvest/internal/obs"
 	"smartharvest/internal/sim"
 )
@@ -369,6 +370,19 @@ type FaultPlan = faults.Plan
 // ParseFaultPlan parses the -faults CLI syntax: comma-separated
 // key=value pairs, e.g. "hfail=0.05,drop=0.01,stall=0.001,stalldur=60ms".
 func ParseFaultPlan(s string) (FaultPlan, error) { return faults.ParsePlan(s) }
+
+// PoolPlan is a harvested-capacity pool plan (Scenario.Pools; see
+// internal/market). Pools are an economy over a fleet's shared harvest:
+// a single-server Scenario has no fleet scheduler to run one, so any
+// non-empty plan is rejected at Run rather than silently ignored — the
+// plan belongs on the multi-server sched/market experiments.
+type PoolPlan = market.Config
+
+// ParsePools parses the -pools CLI syntax: semicolon-separated pool
+// segments of comma-separated key=value pairs, e.g.
+// "overcommit=1.5;name=acme,tier=standard,reserved=4,price=2". The
+// empty string is the disabled plan.
+func ParsePools(s string) (PoolPlan, error) { return market.ParsePools(s) }
 
 // ResiliencePolicy tunes the agent's fault response: retry budget and
 // backoff, degradation thresholds, and the probation for re-entry
